@@ -1,0 +1,66 @@
+// Ablation: why bundleGRD needs PRIMA (prefix preservation) rather than a
+// single plain IMM ranking.
+//
+// For each budget k in the vector, compare the spread of:
+//   * PRIMA's top-k prefix (the guarantee holds for every k);
+//   * plain IMM's top-k prefix when IMM was run once at the max budget
+//     (its sample size was tuned only for k = b, so small prefixes carry
+//     no guarantee);
+//   * IMM re-run per budget k (the guaranteed but expensive alternative
+//     that costs one full run per distinct budget).
+// A-posteriori OPIM-style certificates quantify the realized quality.
+#include <cstdio>
+
+#include "common/table.h"
+#include "diffusion/ic_model.h"
+#include "exp/flags.h"
+#include "exp/networks.h"
+#include "rrset/certificate.h"
+#include "rrset/prima.h"
+
+int main(int argc, char** argv) {
+  using namespace uic;
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.5);
+  const size_t mc = static_cast<size_t>(flags.GetInt("mc", 5000));
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  std::printf("== Ablation: prefix preservation (PRIMA vs plain IMM), "
+              "Douban-Book-like scale %.2f ==\n",
+              scale);
+  const Graph graph = MakeDoubanBookLike(/*seed=*/20190630, scale);
+  std::printf("%s\n", graph.Summary().c_str());
+
+  const std::vector<uint32_t> budgets = {100, 50, 20, 5};
+  const ImResult prima = Prima(graph, budgets, eps, 1.0, 7);
+  const ImResult imm_max = Imm(graph, 100, eps, 1.0, 7);
+
+  TablePrinter table({"k", "PRIMA prefix", "IMM(100) prefix",
+                      "IMM(k) direct", "PRIMA certificate"});
+  for (uint32_t k : {5u, 20u, 50u, 100u}) {
+    const std::vector<NodeId> prima_prefix(prima.seeds.begin(),
+                                           prima.seeds.begin() + k);
+    const std::vector<NodeId> imm_prefix(imm_max.seeds.begin(),
+                                         imm_max.seeds.begin() + k);
+    const ImResult imm_k = Imm(graph, k, eps, 1.0, 7);
+    const std::vector<NodeId> direct(imm_k.seeds.begin(),
+                                     imm_k.seeds.begin() + k);
+    const double s_prima = EstimateSpread(graph, prima_prefix, mc, 99);
+    const double s_imm = EstimateSpread(graph, imm_prefix, mc, 99);
+    const double s_direct = EstimateSpread(graph, direct, mc, 99);
+    const SpreadCertificate cert =
+        CertifySeedSet(graph, prima_prefix, 30000, 0.01, 55);
+    table.AddRow({std::to_string(k), TablePrinter::Num(s_prima, 1),
+                  TablePrinter::Num(s_imm, 1),
+                  TablePrinter::Num(s_direct, 1),
+                  ">= " + TablePrinter::Num(cert.ratio, 3) + " OPT"});
+  }
+  table.Print();
+  std::printf(
+      "\nPRIMA's sample size pays a union bound over all budgets, so every\n"
+      "prefix carries the (1-1/e-eps) guarantee; the per-budget certificate\n"
+      "column verifies it a posteriori. In practice plain IMM prefixes are\n"
+      "close — the guarantee, not the typical case, is what PRIMA buys, at\n"
+      "only a log(#budgets) sampling overhead and none of the |b| reruns.\n");
+  return 0;
+}

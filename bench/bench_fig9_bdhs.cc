@@ -1,0 +1,93 @@
+// Fig. 9(a-c): propagation (bundleGRD under UIC) vs. pure network
+// externality (BDHS), on Orkut, Douban-Book, and Douban-Movie.
+//
+// BDHS may assign the best bundle to *every* node (no budget, no
+// propagation); its welfare is the benchmark line. bundleGRD seeds only a
+// fraction x of the n nodes and relies on diffusion. The series reports,
+// for increasing x, the fraction of the BDHS benchmark welfare that
+// bundleGRD attains.
+//
+// Expected shape (paper): dense networks (Orkut) reach the benchmark with
+// <35% of the budget; sparse ones (Douban-Book) need ~82%; and the curve
+// is concave — e.g. 75% of the benchmark at only 50% budget.
+#include <cstdio>
+
+#include "bdhs/bdhs.h"
+#include "common/table.h"
+#include "exp/configs.h"
+#include "exp/flags.h"
+#include "exp/networks.h"
+#include "exp/suite.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+void RunNetwork(const std::string& name, const Graph& graph,
+                const ItemParams& params, size_t mc, double eps,
+                const std::vector<double>& fractions) {
+  std::printf("\n-- %s: %s --\n", name.c_str(), graph.Summary().c_str());
+
+  const BdhsResult step = BdhsStep(graph, params);
+  // BDHS-Concave requires uniform edge probabilities; evaluate it on a
+  // p=0.01 re-weighted copy, as the paper does.
+  Graph uniform = graph;
+  uniform.ApplyConstantProbability(0.01);
+  const BdhsResult concave = BdhsConcave(uniform, params, 0.01);
+  std::printf("benchmarks: BDHS-Step %.1f | BDHS-Concave %.1f "
+              "(bundle %s)\n",
+              step.welfare, concave.welfare,
+              ItemSetToString(step.bundle).c_str());
+
+  TablePrinter table({"% budget", "bundleGRD welfare", "% of BDHS-Step",
+                      "% of BDHS-Concave"});
+  uint64_t seed = 111;
+  for (double frac : fractions) {
+    const uint32_t k = static_cast<uint32_t>(
+        frac / 100.0 * static_cast<double>(graph.num_nodes()));
+    if (k == 0) continue;
+    const std::vector<uint32_t> budgets(params.num_items(), k);
+    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
+    const double w =
+        EstimateWelfare(graph, grd.allocation, params, mc, 1234).welfare;
+    table.AddRow(
+        {TablePrinter::Num(frac, 0), TablePrinter::Num(w, 1),
+         TablePrinter::Num(step.welfare > 0 ? 100.0 * w / step.welfare : 0,
+                           1),
+         TablePrinter::Num(
+             concave.welfare > 0 ? 100.0 * w / concave.welfare : 0, 1)});
+    ++seed;
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace uic
+
+int main(int argc, char** argv) {
+  using namespace uic;
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+  const size_t mc = static_cast<size_t>(flags.GetInt("mc", 200));
+  const double eps = flags.GetDouble("eps", 0.5);
+
+  std::printf("== Fig. 9(a-c): bundleGRD vs BDHS externality benchmarks "
+              "(scale %.2f) ==\n",
+              scale);
+  // Two complementary items, individually break-even, +1 jointly — with
+  // the noise removed so both sides of the comparison score exactly the
+  // deterministic utility per adopter (UIC's rational adopters otherwise
+  // enjoy a selection bias BDHS's externality model has no analogue of,
+  // which would inflate the propagation side of the ratio).
+  const std::vector<double> prices = {3.0, 4.0};
+  auto value = MakeValueFromUtilities(2, prices, {0.0, 0.0, 0.0, 1.0});
+  const ItemParams params(std::move(value), prices, NoiseModel::Zero(2));
+
+  RunNetwork("(a) Orkut", MakeOrkutLike(1, scale), params, mc, eps,
+             {1, 2, 5, 15, 25, 35});
+  RunNetwork("(b) Douban-Book", MakeDoubanBookLike(2, scale), params, mc,
+             eps, {2, 5, 10, 30, 50, 70, 90});
+  RunNetwork("(c) Douban-Movie", MakeDoubanMovieLike(3, scale), params, mc,
+             eps, {2, 5, 10, 20, 30, 40, 50});
+  return 0;
+}

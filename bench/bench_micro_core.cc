@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate primitives: RR-set sampling, UIC simulation, utility-table
+// construction, greedy max-cover selection.
+#include <benchmark/benchmark.h>
+
+#include "diffusion/uic_model.h"
+#include "exp/configs.h"
+#include "graph/generators.h"
+#include "items/utility_table.h"
+#include "rrset/node_selection.h"
+#include "rrset/rr_collection.h"
+
+namespace uic {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph g = [] {
+    Graph graph = GeneratePreferentialAttachment(20000, 6, false, 99);
+    graph.ApplyWeightedCascade();
+    return graph;
+  }();
+  return g;
+}
+
+void BM_RrSetSampling(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  RrSampler sampler(g);
+  Rng rng(1);
+  std::vector<NodeId> rr;
+  size_t total_nodes = 0;
+  for (auto _ : state) {
+    sampler.SampleInto(rng, &rr);
+    total_nodes += rr.size();
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["avg_rr_size"] = static_cast<double>(total_nodes) /
+                                  static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RrSetSampling);
+
+void BM_UicSimulation(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const ItemParams params = MakeTwoItemConfig12();
+  const UtilityTable table(params);
+  UicSimulator sim(g);
+  Rng rng(2);
+  Allocation alloc;
+  for (NodeId v = 0; v < static_cast<NodeId>(state.range(0)); ++v) {
+    alloc.Add(v, 0b11);
+  }
+  for (auto _ : state) {
+    const UicOutcome out = sim.Run(alloc, table, rng);
+    benchmark::DoNotOptimize(out.welfare);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UicSimulation)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_UtilityTableBuild(benchmark::State& state) {
+  const ItemId k = static_cast<ItemId>(state.range(0));
+  const ItemParams params = MakeAdditiveConfig5(k);
+  Rng rng(3);
+  for (auto _ : state) {
+    const std::vector<double> noise = params.noise().Sample(rng);
+    const UtilityTable table(params, noise);
+    benchmark::DoNotOptimize(table.Utility(FullItemSet(k)));
+  }
+}
+BENCHMARK(BM_UtilityTableBuild)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_BestAdoption(benchmark::State& state) {
+  const ItemId k = static_cast<ItemId>(state.range(0));
+  const ItemParams params = MakeConeConfig67(k, 0);
+  const UtilityTable table(params);
+  const ItemSet full = FullItemSet(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.BestAdoption(0, full));
+  }
+}
+BENCHMARK(BM_BestAdoption)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_NodeSelection(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  RrCollection pool(g, 4, 4);
+  pool.GenerateUntil(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const SeedSelection sel = NodeSelection(pool, 50);
+    benchmark::DoNotOptimize(sel.seeds.data());
+  }
+}
+BENCHMARK(BM_NodeSelection)->Arg(10000)->Arg(50000);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Graph g = GeneratePreferentialAttachment(
+        static_cast<NodeId>(state.range(0)), 6, false, 5);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphGeneration)->Arg(10000)->Arg(40000);
+
+}  // namespace
+}  // namespace uic
+
+BENCHMARK_MAIN();

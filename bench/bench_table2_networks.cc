@@ -1,0 +1,62 @@
+// Table 2: network statistics of the five evaluation networks.
+//
+// Prints the paper's reported sizes next to the sizes of our synthetic
+// stand-ins (the crawled datasets are not redistributable; see DESIGN.md).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "exp/networks.h"
+#include "graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace uic;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    }
+  }
+
+  std::printf("== Table 2: network statistics (stand-ins at scale %.2f) ==\n",
+              scale);
+  TablePrinter table({"network", "type", "paper n", "paper m", "built n",
+                      "built m", "built avg deg"});
+  for (const NetworkInfo& info : DescribeAllNetworks(/*seed=*/20190630,
+                                                     scale)) {
+    table.AddRow({info.name, info.directed ? "directed" : "undirected",
+                  TablePrinter::Int(info.paper_nodes),
+                  TablePrinter::Int(static_cast<long long>(info.paper_edges)),
+                  TablePrinter::Int(info.built_nodes),
+                  TablePrinter::Int(static_cast<long long>(info.built_edges)),
+                  TablePrinter::Num(static_cast<double>(info.built_edges) /
+                                        info.built_nodes,
+                                    2)});
+  }
+  table.Print();
+
+  std::printf("\nstructural statistics of the stand-ins:\n");
+  TablePrinter stats_table({"network", "max in-deg", "largest WCC",
+                            "gini(in-deg)", "sources", "sinks"});
+  const uint64_t seed = 20190630;
+  const std::vector<std::pair<std::string, Graph>> graphs = [&] {
+    std::vector<std::pair<std::string, Graph>> g;
+    g.emplace_back("Flixster", MakeFlixsterLike(seed, scale));
+    g.emplace_back("Douban-Book", MakeDoubanBookLike(seed, scale));
+    g.emplace_back("Douban-Movie", MakeDoubanMovieLike(seed, scale));
+    g.emplace_back("Twitter", MakeTwitterLike(seed, scale));
+    g.emplace_back("Orkut", MakeOrkutLike(seed, scale));
+    return g;
+  }();
+  for (const auto& [name, graph] : graphs) {
+    const GraphStats s = ComputeGraphStats(graph);
+    stats_table.AddRow(
+        {name, TablePrinter::Int(s.max_in_degree),
+         TablePrinter::Int(s.largest_wcc),
+         TablePrinter::Num(s.gini_in_degree, 3),
+         TablePrinter::Int(s.num_sources), TablePrinter::Int(s.num_sinks)});
+  }
+  stats_table.Print();
+  return 0;
+}

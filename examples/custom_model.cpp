@@ -1,0 +1,98 @@
+// Scenario: plugging your own data into the library.
+//
+//  * load a graph from a SNAP-style edge list (here: written on the fly);
+//  * define a custom supermodular valuation, prices and per-item noise;
+//  * verify the complementarity assumptions (monotone + supermodular) that
+//    bundleGRD's guarantee needs;
+//  * derive the Com-IC GAP parameters implied by the utility configuration
+//    (Eq. 12) — useful to sanity-check against adoption data;
+//  * run the full pipeline and inspect per-node adoptions of one world.
+#include <cstdio>
+
+#include "core/bundle_grd.h"
+#include "diffusion/uic_model.h"
+#include "graph/loaders.h"
+#include "items/gap.h"
+#include "items/supermodular_generators.h"
+#include "items/value_function.h"
+
+int main() {
+  using namespace uic;
+
+  // --- 1. Graph from an edge list (u v p per line) ---------------------
+  const std::string edge_list =
+      "# toy collaboration network\n"
+      "0 1 0.8\n0 2 0.8\n1 3 0.6\n2 3 0.6\n3 4 0.9\n4 5 0.9\n"
+      "5 6 0.5\n3 6 0.4\n6 7 0.7\n2 7 0.3\n";
+  EdgeListOptions options;
+  options.read_probability = true;
+  auto loaded = ParseEdgeList(edge_list, options);
+  if (!loaded.ok()) {
+    std::printf("failed to parse graph: %s\n",
+                loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Graph graph = loaded.MoveValue();
+  std::printf("loaded %s\n", graph.Summary().c_str());
+
+  // --- 2. Custom items: a camera (i0), a lens (i1), a tripod (i2) ------
+  // Valuation via explicit target utilities (value = utility + price):
+  // camera is mildly profitable alone; lens and tripod only pay off in
+  // combination with it.
+  const std::vector<double> prices = {400.0, 150.0, 60.0};
+  const std::vector<double> utilities = {
+      /* {}          */ 0.0,
+      /* {cam}       */ 10.0,
+      /* {lens}      */ -40.0,
+      /* {cam,lens}  */ 45.0,
+      /* {tripod}    */ -20.0,
+      /* {cam,tri}   */ 20.0,
+      /* {lens,tri}  */ -55.0,
+      /* {all}       */ 80.0,
+  };
+  auto value = MakeValueFromUtilities(3, prices, utilities);
+
+  // --- 3. Verify the assumptions behind the (1-1/e-eps) guarantee ------
+  std::printf("valuation monotone:     %s\n",
+              IsMonotone(*value) ? "yes" : "NO");
+  std::printf("valuation supermodular: %s\n",
+              IsSupermodular(*value) ? "yes" : "NO");
+
+  NoiseModel noise({ItemNoise::Gaussian(15.0), ItemNoise::Gaussian(8.0),
+                    ItemNoise::Gaussian(5.0)});
+  const ItemParams params(value, prices, noise);
+
+  // --- 4. Implied GAP adoption probabilities (Eq. 12) ------------------
+  std::printf("\nimplied adoption probabilities:\n");
+  std::printf("  q(lens | nothing)    = %.3f\n",
+              GapProbability(params, 1, kEmptyItemSet));
+  std::printf("  q(lens | camera)     = %.3f\n",
+              GapProbability(params, 1, ItemBit(0)));
+  std::printf("  q(tripod | cam+lens) = %.3f\n",
+              GapProbability(params, 2, ItemBit(0) | ItemBit(1)));
+
+  // --- 5. Allocate and diffuse ------------------------------------------
+  const std::vector<uint32_t> budgets = {2, 2, 1};
+  const AllocationResult grd = BundleGrd(graph, budgets, 0.3, 1.0, 5);
+  const WelfareEstimate est =
+      EstimateWelfare(graph, grd.allocation, params, 5000, 7);
+  std::printf("\nbundleGRD welfare: %.1f ± %.1f "
+              "(%.1f adopters, %.1f adoptions per world)\n",
+              est.welfare, est.stderr_, est.avg_adopters, est.avg_adoptions);
+
+  // --- 6. Inspect one concrete possible world --------------------------
+  Rng rng(123);
+  const std::vector<double> sampled_noise = params.noise().Sample(rng);
+  const UtilityTable table(params, sampled_noise);
+  UicSimulator sim(graph);
+  std::vector<std::pair<NodeId, ItemSet>> adoptions;
+  sim.RunDetailed(grd.allocation, table, rng, &adoptions);
+  std::printf("\none sampled world (noise: cam %+.1f, lens %+.1f, "
+              "tripod %+.1f):\n",
+              sampled_noise[0], sampled_noise[1], sampled_noise[2]);
+  for (const auto& [v, a] : adoptions) {
+    std::printf("  node %u adopts %s (utility %+.1f)\n", v,
+                ItemSetToString(a).c_str(), table.Utility(a));
+  }
+  return 0;
+}

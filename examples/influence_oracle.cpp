@@ -1,0 +1,44 @@
+// Scenario: an "influence oracle" service. A network host receives budget
+// queries ("give me the best k seeds") for many different k and must answer
+// instantly — without recomputing seeds per query.
+//
+// PRIMA's prefix-preserving property (Definition 1) makes this a one-time
+// precomputation: a single ranked seed list whose every prefix of size k is
+// a (1 − 1/e − ε)-approximation for budget k. This is exactly the property
+// bundleGRD relies on for multi-item allocation, exposed here as a
+// standalone service.
+#include <cstdio>
+
+#include "diffusion/ic_model.h"
+#include "exp/networks.h"
+#include "rrset/prima.h"
+
+int main() {
+  using namespace uic;
+
+  const Graph graph = MakeDoubanBookLike(/*seed=*/3, /*scale=*/0.5);
+  std::printf("network: %s\n", graph.Summary().c_str());
+
+  // Precompute ONE ranking that serves every budget in [1, 100].
+  const std::vector<uint32_t> budgets = {100, 50, 25, 10, 5, 1};
+  const ImResult oracle = Prima(graph, budgets, /*eps=*/0.5, /*ell=*/1.0,
+                                /*seed=*/17);
+  std::printf("oracle precomputed: %zu ranked seeds, %zu RR sets, %.2f s\n\n",
+              oracle.seeds.size(), oracle.num_rr_sets,
+              oracle.sampling_seconds + oracle.selection_seconds);
+
+  // Serve queries: any prefix is a guaranteed-quality answer.
+  std::printf("%8s %16s %20s\n", "query k", "spread(top-k)", "spread per seed");
+  for (uint32_t k : {1u, 5u, 10u, 25u, 50u, 100u}) {
+    const std::vector<NodeId> seeds(oracle.seeds.begin(),
+                                    oracle.seeds.begin() + k);
+    const double spread = EstimateSpread(graph, seeds, 2000, 55);
+    std::printf("%8u %16.1f %20.2f\n", k, spread, spread / k);
+  }
+
+  std::printf(
+      "\nEvery row reuses the same precomputed ranking; no per-query seed\n"
+      "selection. A plain IMM ranking computed for k=100 would carry no\n"
+      "guarantee for its smaller prefixes.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a network, define complementary items, run bundleGRD,
+// and estimate the expected social welfare of the resulting allocation.
+//
+// This mirrors the end-to-end pipeline of the paper: a graph with
+// weighted-cascade influence probabilities, a supermodular valuation with
+// additive prices and zero-mean Gaussian noise, the budget-constrained
+// bundleGRD allocation (which never looks at the utilities), and
+// Monte-Carlo welfare estimation under the UIC diffusion model.
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/bundle_grd.h"
+#include "diffusion/uic_model.h"
+#include "exp/configs.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace uic;
+
+  // 1. A synthetic social network with weighted-cascade probabilities.
+  Graph graph = GeneratePreferentialAttachment(/*n=*/5000, /*out_per_node=*/5,
+                                               /*undirected=*/false,
+                                               /*seed=*/42);
+  graph.ApplyWeightedCascade();
+  std::printf("network: %s\n", graph.Summary().c_str());
+
+  // 2. Two complementary items (Table 3, Configuration 1): both items are
+  // individually break-even but worth +1 together.
+  ItemParams params = MakeTwoItemConfig12();
+
+  // 3. Budgets: 30 seeds for each item.
+  const std::vector<uint32_t> budgets = {30, 30};
+
+  // 4. bundleGRD: one PRIMA ranking, every item seeded on its prefix.
+  AllocationResult grd = BundleGrd(graph, budgets, /*eps=*/0.5, /*ell=*/1.0,
+                                   /*seed=*/7);
+  std::printf("bundleGRD: %zu seed nodes, %zu RR sets, %.2f s\n",
+              grd.allocation.num_seed_nodes(), grd.num_rr_sets, grd.seconds);
+
+  // 5. Estimate expected social welfare (and compare with item-disj).
+  const WelfareEstimate w_grd =
+      EstimateWelfare(graph, grd.allocation, params, /*num_simulations=*/500,
+                      /*seed=*/99);
+  AllocationResult disj = ItemDisjoint(graph, budgets, 0.5, 1.0, 7);
+  const WelfareEstimate w_disj =
+      EstimateWelfare(graph, disj.allocation, params, 500, 99);
+
+  std::printf("expected welfare  bundleGRD: %.1f ± %.1f\n", w_grd.welfare,
+              w_grd.stderr_);
+  std::printf("expected welfare  item-disj: %.1f ± %.1f\n", w_disj.welfare,
+              w_disj.stderr_);
+  std::printf("bundleGRD / item-disj = %.2fx\n",
+              w_grd.welfare / (w_disj.welfare > 0 ? w_disj.welfare : 1.0));
+  return 0;
+}

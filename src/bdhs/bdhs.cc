@@ -1,0 +1,106 @@
+#include "bdhs/bdhs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace uic {
+
+namespace {
+
+/// The unconstrained BDHS assignment under our conversion: with no budget
+/// and complementary items, every node is assigned the virtual item
+/// (bundle) with the maximum non-negative deterministic utility.
+ItemSet BestBundle(const ItemParams& params, double* utility_out) {
+  ItemSet best = kEmptyItemSet;
+  double best_u = 0.0;
+  const ItemSet full = params.full_set();
+  for (ItemSet s = 1; s <= full; ++s) {
+    const double u = params.DeterministicUtility(s);
+    if (u > best_u || (u == best_u && Cardinality(s) > Cardinality(best))) {
+      best_u = u;
+      best = s;
+    }
+    if (s == full) break;
+  }
+  *utility_out = best_u;
+  return best;
+}
+
+}  // namespace
+
+BdhsResult BdhsStep(const Graph& graph, const ItemParams& params,
+                    double kappa) {
+  BdhsResult result;
+  double bundle_utility = 0.0;
+  result.bundle = BestBundle(params, &bundle_utility);
+  if (result.bundle == kEmptyItemSet) return result;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    // P[at least one live in-edge] = 1 − Π (1 − p_uv); with universal
+    // assignment every live in-neighbor holds the same bundle.
+    double none_live = 1.0;
+    for (float p : graph.InProbs(v)) none_live *= (1.0 - p);
+    const double factor = (1.0 - none_live) + kappa * none_live;
+    result.welfare += bundle_utility * factor;
+  }
+  return result;
+}
+
+BdhsResult BdhsStepMonteCarlo(const Graph& graph, const ItemParams& params,
+                              double kappa, size_t num_worlds,
+                              uint64_t seed) {
+  BdhsResult result;
+  double bundle_utility = 0.0;
+  result.bundle = BestBundle(params, &bundle_utility);
+  if (result.bundle == kEmptyItemSet || num_worlds == 0) return result;
+  Rng rng(seed);
+  double total = 0.0;
+  for (size_t w = 0; w < num_worlds; ++w) {
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      bool live = false;
+      for (float p : graph.InProbs(v)) {
+        if (rng.NextBernoulli(p)) {
+          live = true;
+          break;
+        }
+      }
+      // NOTE: short-circuiting changes the number of coins consumed per
+      // node but not the Bernoulli event probability.
+      total += bundle_utility * (live ? 1.0 : kappa);
+    }
+  }
+  result.welfare = total / static_cast<double>(num_worlds);
+  return result;
+}
+
+BdhsResult BdhsConcave(const Graph& graph, const ItemParams& params,
+                       double p) {
+  UIC_CHECK_GT(p, 0.0);
+  UIC_CHECK_LE(p, 1.0);
+  BdhsResult result;
+  double bundle_utility = 0.0;
+  result.bundle = BestBundle(params, &bundle_utility);
+  if (result.bundle == kEmptyItemSet) return result;
+
+  std::vector<NodeId> support;
+  std::unordered_set<NodeId> seen;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    // 2-hop in-neighborhood support set (excluding v itself).
+    seen.clear();
+    for (NodeId u : graph.InNeighbors(v)) {
+      if (u != v) seen.insert(u);
+      for (NodeId w : graph.InNeighbors(u)) {
+        if (w != v) seen.insert(w);
+      }
+    }
+    const double s = static_cast<double>(seen.size());
+    const double factor = 1.0 - std::pow(1.0 - p, s);
+    result.welfare += bundle_utility * factor;
+  }
+  return result;
+}
+
+}  // namespace uic

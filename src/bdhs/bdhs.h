@@ -1,0 +1,53 @@
+// Welfare maximization under friends-of-friends network externalities
+// (Bhattacharya, Dvořák, Henzinger, Starnberger — "BDHS"), converted to
+// our setting exactly as §4.3.4.4 prescribes:
+//
+//  * every itemset is a *virtual item*; with no budget, BDHS may assign
+//    virtual items to every node directly (no propagation);
+//  * BDHS-Step evaluates the 1-step externality on live-edge samples of
+//    the influence graph: a node realizes its assigned bundle's utility
+//    when at least one live in-neighbor holds the same bundle (an isolated
+//    node realizes only a κ-discounted share);
+//  * BDHS-Concave uses the concave externality 1 − (1−p)^{s_v} over the
+//    node's 2-hop support set (valid when every edge has the same
+//    probability p).
+//
+// These produce the *benchmark welfare* that bundleGRD is then asked to
+// match with only a fraction of n seeds (Fig. 9(a–c)).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "items/params.h"
+
+namespace uic {
+
+/// \brief Result of a BDHS benchmark computation.
+struct BdhsResult {
+  double welfare = 0.0;
+  /// The bundle every node is assigned (the deterministic-utility optimum).
+  ItemSet bundle = kEmptyItemSet;
+};
+
+/// \brief BDHS-Step: 1-step externality.
+///
+/// The realized factor for node v is P[some live in-edge] + κ·P[none],
+/// computed in closed form from the edge probabilities (equivalently the
+/// average over infinitely many live-edge worlds; `MonteCarlo` variant
+/// available for validation).
+BdhsResult BdhsStep(const Graph& graph, const ItemParams& params,
+                    double kappa = 0.0);
+
+/// Monte-Carlo estimate of the same quantity over sampled live-edge worlds
+/// (used in tests to validate the closed form).
+BdhsResult BdhsStepMonteCarlo(const Graph& graph, const ItemParams& params,
+                              double kappa, size_t num_worlds, uint64_t seed);
+
+/// \brief BDHS-Concave: externality 1 − (1−p)^{|support_v|} with the 2-hop
+/// in-neighborhood as the support set. Requires a uniform edge
+/// probability `p`.
+BdhsResult BdhsConcave(const Graph& graph, const ItemParams& params,
+                       double p);
+
+}  // namespace uic

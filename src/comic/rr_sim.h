@@ -1,0 +1,50 @@
+// RR-SIM+ and RR-CIM: the Com-IC seed-selection baselines (§4.3.1.2).
+//
+// Both algorithms take the seeds of item i2 as given (chosen by IMM) and
+// select item i1's seeds to maximize i1's expected adoption under Com-IC:
+//
+//  * RR-SIM+ samples reverse-reachable sets in which every traversed node
+//    additionally passes its NLA adoption coin (q_{1|∅}, boosted to
+//    q_{1|2} at i2's seed nodes — the "+" one-way complementarity boost).
+//  * RR-CIM first runs forward Monte-Carlo simulations of i2's diffusion
+//    to estimate each node's i2-adoption probability, then samples RR sets
+//    whose node coins use the mixed probability
+//    q_{1|∅}·(1 − p2_v) + q_{1|2}·p2_v.
+//
+// Faithful to the originals, the sample size is governed by the more
+// conservative TIM-style bound (they predate IMM's refined martingale
+// bound), which is why they generate significantly more RR sets than
+// IMM-based algorithms (Fig. 6). Both support exactly two items; extending
+// Com-IC beyond two items needs exponentially many NLA parameters, which
+// is precisely the limitation bundleGRD removes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bundle_grd.h"
+#include "items/gap.h"
+
+namespace uic {
+
+/// Tuning knobs shared by the Com-IC baselines.
+struct ComIcBaselineOptions {
+  double eps = 0.5;
+  double ell = 1.0;
+  /// Forward Monte-Carlo simulations used by RR-CIM to estimate per-node
+  /// i2-adoption probabilities.
+  size_t cim_forward_simulations = 200;
+};
+
+/// \brief RR-SIM+: item i1 seeds via self-influence RR sets (i2 by IMM).
+AllocationResult RrSimPlus(const Graph& graph, const TwoItemGap& gap,
+                           uint32_t budget1, uint32_t budget2,
+                           const ComIcBaselineOptions& options, uint64_t seed,
+                           unsigned workers = 0);
+
+/// \brief RR-CIM: complementary influence maximization for item i1.
+AllocationResult RrCim(const Graph& graph, const TwoItemGap& gap,
+                       uint32_t budget1, uint32_t budget2,
+                       const ComIcBaselineOptions& options, uint64_t seed,
+                       unsigned workers = 0);
+
+}  // namespace uic

@@ -1,0 +1,36 @@
+// Invariant-checking macros. UIC_CHECK is always on (cheap comparisons on
+// cold paths); UIC_DCHECK compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uic::internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace uic::internal
+
+#define UIC_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::uic::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                          \
+  } while (0)
+
+#define UIC_CHECK_GE(a, b) UIC_CHECK((a) >= (b))
+#define UIC_CHECK_GT(a, b) UIC_CHECK((a) > (b))
+#define UIC_CHECK_LE(a, b) UIC_CHECK((a) <= (b))
+#define UIC_CHECK_LT(a, b) UIC_CHECK((a) < (b))
+#define UIC_CHECK_EQ(a, b) UIC_CHECK((a) == (b))
+#define UIC_CHECK_NE(a, b) UIC_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define UIC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define UIC_DCHECK(cond) UIC_CHECK(cond)
+#endif

@@ -1,0 +1,102 @@
+// Status / Result error-handling primitives (RocksDB-style, exception-free).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace uic {
+
+/// \brief Lightweight status code for fallible operations.
+///
+/// Core library functions that can fail return `Status` (or `Result<T>`)
+/// instead of throwing. Hot paths (simulation, sampling) are designed so
+/// that failure is impossible after construction-time validation and
+/// therefore return plain values.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kOutOfRange,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+ private:
+  static std::string CodeName(Code c) {
+    switch (c) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kIOError: return "IOError";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string msg_;
+};
+
+/// \brief Value-or-status result type.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(implicit)
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const Status& status() const { return std::get<Status>(value_); }
+  T& value() { return std::get<T>(value_); }
+  const T& value() const { return std::get<T>(value_); }
+  T&& MoveValue() { return std::move(std::get<T>(value_)); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace uic
+
+#define UIC_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::uic::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)

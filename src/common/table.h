@@ -1,0 +1,77 @@
+// ASCII table / CSV emission for experiment drivers. The bench binaries
+// print the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace uic {
+
+/// \brief Column-aligned ASCII table with optional CSV dump.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format a double with `prec` digits after the decimal point.
+  static std::string Num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  static std::string Int(long long v) { return std::to_string(v); }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    PrintRow(os, header_, width);
+    std::string sep;
+    for (size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& r : rows_) PrintRow(os, r, width);
+  }
+
+  void PrintCsv(std::ostream& os) const {
+    os << Join(header_) << "\n";
+    for (const auto& r : rows_) os << Join(r) << "\n";
+  }
+
+ private:
+  static std::string Join(const std::vector<std::string>& cells) {
+    std::string out;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += ",";
+      out += cells[i];
+    }
+    return out;
+  }
+
+  static void PrintRow(std::ostream& os, const std::vector<std::string>& row,
+                       const std::vector<size_t>& width) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << " " << std::setw(static_cast<int>(width[c])) << cell << " ";
+      if (c + 1 < width.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uic

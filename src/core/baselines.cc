@@ -1,0 +1,152 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "rrset/prima.h"
+
+namespace uic {
+
+namespace {
+
+/// Item ids sorted by non-increasing budget (stable in item id).
+std::vector<ItemId> ItemsByBudgetDesc(const std::vector<uint32_t>& budgets) {
+  std::vector<ItemId> order(budgets.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](ItemId a, ItemId b) {
+    return budgets[a] > budgets[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+AllocationResult ItemDisjoint(const Graph& graph,
+                              const std::vector<uint32_t>& budgets,
+                              double eps, double ell, uint64_t seed,
+                              unsigned workers) {
+  WallTimer timer;
+  AllocationResult result;
+  size_t total = 0;
+  for (uint32_t b : budgets) total += b;
+  if (total == 0) return result;
+  total = std::min<size_t>(total, graph.num_nodes());
+
+  ImResult imm = Imm(graph, total, eps, ell, seed, workers);
+  result.num_rr_sets = imm.num_rr_sets;
+  result.ranking = imm.seeds;
+
+  // Visit items in non-increasing budget order; each takes the next b_i
+  // untaken nodes of the ranking.
+  size_t cursor = 0;
+  for (ItemId i : ItemsByBudgetDesc(budgets)) {
+    for (uint32_t c = 0; c < budgets[i] && cursor < imm.seeds.size();
+         ++c, ++cursor) {
+      result.allocation.AddItem(imm.seeds[cursor], i);
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+AllocationResult BundleDisjoint(const Graph& graph,
+                                const std::vector<uint32_t>& budgets,
+                                const ItemParams& params, double eps,
+                                double ell, uint64_t seed,
+                                unsigned workers) {
+  WallTimer timer;
+  AllocationResult result;
+  UIC_CHECK_EQ(budgets.size(), params.num_items());
+
+  std::vector<uint32_t> remaining(budgets);
+  std::vector<NodeId> used;  // all seed nodes taken so far
+  std::vector<ItemSet> bundles;
+  std::vector<std::vector<NodeId>> bundle_seeds;
+  uint64_t call_counter = 0;
+
+  // Phase 1: repeatedly extract a minimum-size itemset with non-negative
+  // deterministic utility among items with remaining budget; allocate it
+  // to b_B = min_{i∈B} remaining_i fresh seeds.
+  while (true) {
+    ItemSet active = 0;
+    for (ItemId i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] > 0) active |= ItemBit(i);
+    }
+    if (active == 0) break;
+
+    ItemSet bundle = 0;
+    uint32_t best_card = UINT32_MAX;
+    ForEachSubset(active, [&](ItemSet s) {
+      if (s == 0) return;
+      if (params.DeterministicUtility(s) < 0.0) return;
+      const uint32_t card = Cardinality(s);
+      if (card < best_card || (card == best_card && s < bundle)) {
+        best_card = card;
+        bundle = s;
+      }
+    });
+    if (bundle == 0) break;  // no non-negative bundle remains
+
+    uint32_t bundle_budget = UINT32_MAX;
+    ForEachItem(bundle,
+                [&](ItemId i) { bundle_budget = std::min(bundle_budget, remaining[i]); });
+    if (used.size() + bundle_budget > graph.num_nodes()) {
+      bundle_budget =
+          static_cast<uint32_t>(graph.num_nodes() - used.size());
+      if (bundle_budget == 0) break;
+    }
+
+    ImResult imm = Imm(graph, bundle_budget, eps, ell,
+                       seed + 0x9e37 * (++call_counter), workers, used);
+    result.num_rr_sets += imm.num_rr_sets;
+    std::vector<NodeId> seeds(imm.seeds.begin(),
+                              imm.seeds.begin() +
+                                  std::min<size_t>(bundle_budget,
+                                                   imm.seeds.size()));
+    for (NodeId v : seeds) {
+      ForEachItem(bundle, [&](ItemId i) { result.allocation.AddItem(v, i); });
+      used.push_back(v);
+    }
+    ForEachItem(bundle, [&](ItemId i) { remaining[i] -= bundle_budget; });
+    bundles.push_back(bundle);
+    bundle_seeds.push_back(std::move(seeds));
+  }
+
+  // Phase 2: recycle leftover budgets onto existing bundles that do not
+  // contain the item (piggybacking on their seeds).
+  for (ItemId i = 0; i < remaining.size(); ++i) {
+    for (size_t bidx = 0; bidx < bundles.size() && remaining[i] > 0; ++bidx) {
+      if (Contains(bundles[bidx], i)) continue;
+      const auto& seeds = bundle_seeds[bidx];
+      const size_t take = std::min<size_t>(remaining[i], seeds.size());
+      for (size_t c = 0; c < take; ++c) {
+        result.allocation.AddItem(seeds[c], i);
+      }
+      remaining[i] -= static_cast<uint32_t>(take);
+    }
+  }
+
+  // Phase 3: any final surplus gets fresh IMM seeds of its own.
+  for (ItemId i = 0; i < remaining.size(); ++i) {
+    if (remaining[i] == 0) continue;
+    uint32_t want = remaining[i];
+    if (used.size() + want > graph.num_nodes()) {
+      want = static_cast<uint32_t>(graph.num_nodes() - used.size());
+    }
+    if (want == 0) continue;
+    ImResult imm = Imm(graph, want, eps, ell, seed + 0x9e37 * (++call_counter),
+                       workers, used);
+    result.num_rr_sets += imm.num_rr_sets;
+    for (size_t c = 0; c < want && c < imm.seeds.size(); ++c) {
+      result.allocation.AddItem(imm.seeds[c], i);
+      used.push_back(imm.seeds[c]);
+    }
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace uic

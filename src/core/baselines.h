@@ -1,0 +1,38 @@
+// The allocation baselines of §4.3.1.2: item-disj and bundle-disj.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bundle_grd.h"
+#include "items/params.h"
+
+namespace uic {
+
+/// \brief item-disj: one item per seed node.
+///
+/// Selects Σ_i b_i seeds with a single IMM invocation, then walks items in
+/// non-increasing budget order assigning each item the next b_i unused
+/// nodes. Never bundles, so it forgoes supermodularity but still benefits
+/// from propagation when single items have positive utility.
+AllocationResult ItemDisjoint(const Graph& graph,
+                              const std::vector<uint32_t>& budgets,
+                              double eps, double ell, uint64_t seed,
+                              unsigned workers = 0);
+
+/// \brief bundle-disj: bundles on disjoint seed sets.
+///
+/// Orders items by non-increasing budget and repeatedly extracts a
+/// minimum-size itemset with non-negative *deterministic* utility (a
+/// "bundle"); each bundle B is allocated to a fresh set of
+/// b_B = min_{i∈B} b_i seeds (selected by IMM, excluding already-used
+/// nodes). Remaining budgets are recycled onto existing bundles not
+/// containing the item, and any final surplus is seeded with fresh IMM
+/// seeds. Requires the utility configuration (unlike bundleGRD).
+AllocationResult BundleDisjoint(const Graph& graph,
+                                const std::vector<uint32_t>& budgets,
+                                const ItemParams& params, double eps,
+                                double ell, uint64_t seed,
+                                unsigned workers = 0);
+
+}  // namespace uic

@@ -1,0 +1,42 @@
+// Classic Monte-Carlo greedy allocation over (node, item) pairs.
+//
+// Picks, at each step, the pair with the largest marginal gain in
+// *estimated expected welfare*. Unlike bundleGRD this needs the utility
+// configuration and O(n·|I|·b) welfare estimations, so it only scales to
+// small instances — it serves as a quality reference in tests and
+// ablations (the role the MC greedy played for IM before RR-set
+// algorithms).
+//
+// Deliberately NOT CELF-accelerated: lazy gain pruning requires marginal
+// gains that never increase (submodularity), and UIC welfare is neither
+// submodular nor supermodular (Theorem 1) — complementary items make a
+// pair's gain *grow* once its partner is allocated, which breaks the
+// lazy-heap invariant and yields provably wrong picks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bundle_grd.h"
+#include "diffusion/uic_model.h"
+#include "items/params.h"
+
+namespace uic {
+
+struct McGreedyOptions {
+  size_t simulations_per_eval = 200;  ///< MC samples per welfare estimate
+  uint64_t seed = 1;
+  unsigned workers = 0;
+  /// Restrict candidate seed nodes (empty = all nodes). Pre-filtering to,
+  /// say, the top-degree nodes makes the greedy usable on mid-size graphs.
+  std::vector<NodeId> candidates;
+};
+
+/// \brief Lazy (CELF) greedy over node-item pairs under budget vector
+/// `budgets`. Returns the allocation and its estimated welfare trace.
+AllocationResult McGreedyAllocate(const Graph& graph,
+                                  const std::vector<uint32_t>& budgets,
+                                  const ItemParams& params,
+                                  const McGreedyOptions& options = {});
+
+}  // namespace uic

@@ -1,0 +1,57 @@
+#include "core/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace uic {
+
+Status SaveAllocation(const Allocation& allocation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# node_id,itemset_hex\n";
+  for (const auto& [v, items] : allocation.entries()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u,%x\n", v, items);
+    out << buf;
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<Allocation> LoadAllocation(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  Allocation allocation;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::IOError("missing comma at line " +
+                             std::to_string(line_no));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long node = std::strtoul(line.c_str(), &end, 10);
+    if (end != line.c_str() + comma) {
+      return Status::IOError("bad node id at line " + std::to_string(line_no));
+    }
+    const unsigned long items =
+        std::strtoul(line.c_str() + comma + 1, &end, 16);
+    if (end == line.c_str() + comma + 1 || errno != 0) {
+      return Status::IOError("bad itemset at line " + std::to_string(line_no));
+    }
+    if (items == 0 || items > FullItemSet(kMaxItems)) {
+      return Status::InvalidArgument("itemset out of range at line " +
+                                     std::to_string(line_no));
+    }
+    allocation.Add(static_cast<NodeId>(node), static_cast<ItemSet>(items));
+  }
+  return allocation;
+}
+
+}  // namespace uic

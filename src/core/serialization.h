@@ -1,0 +1,22 @@
+// Saving/loading seed allocations (CSV "node,itemset-hex" rows).
+//
+// Lets a computed allocation be reused across processes — e.g. run
+// bundleGRD once on a big network, then evaluate welfare under several
+// utility configurations in separate jobs.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "diffusion/allocation.h"
+
+namespace uic {
+
+/// Write `allocation` to `path` (overwrites). Format, one row per seed:
+///   node_id,itemset_hex
+Status SaveAllocation(const Allocation& allocation, const std::string& path);
+
+/// Read an allocation previously written by SaveAllocation.
+Result<Allocation> LoadAllocation(const std::string& path);
+
+}  // namespace uic

@@ -1,0 +1,81 @@
+// Seed allocations 𝒮 ⊆ V × I (§3.2.1).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "items/itemset.h"
+
+namespace uic {
+
+/// \brief A seed allocation: which items each seed node is offered.
+///
+/// Stored sparsely as (node, itemset) pairs — at most Σ b_i entries.
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// Allocate `items` (in addition to anything already allocated) to `node`.
+  void Add(NodeId node, ItemSet items) {
+    for (auto& [v, set] : entries_) {
+      if (v == node) {
+        set |= items;
+        return;
+      }
+    }
+    entries_.emplace_back(node, items);
+  }
+
+  void AddItem(NodeId node, ItemId item) { Add(node, ItemBit(item)); }
+
+  /// Build from per-item seed lists: `seeds_per_item[i]` are the seeds of
+  /// item i (S_i in the paper).
+  static Allocation FromSeedSets(
+      const std::vector<std::vector<NodeId>>& seeds_per_item) {
+    Allocation a;
+    for (ItemId i = 0; i < seeds_per_item.size(); ++i) {
+      for (NodeId v : seeds_per_item[i]) a.AddItem(v, i);
+    }
+    return a;
+  }
+
+  const std::vector<std::pair<NodeId, ItemSet>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+  size_t num_seed_nodes() const { return entries_.size(); }
+
+  /// Number of seeds item `i` is allocated to (|S_i|).
+  size_t SeedCount(ItemId i) const {
+    size_t c = 0;
+    for (const auto& [v, set] : entries_) c += Contains(set, i);
+    return c;
+  }
+
+  /// Total node-item pairs |𝒮|.
+  size_t TotalPairs() const {
+    size_t c = 0;
+    for (const auto& [v, set] : entries_) c += Cardinality(set);
+    return c;
+  }
+
+  /// Validate against the budget vector: |S_i| <= budgets[i] for every i.
+  Status ValidateBudgets(const std::vector<uint32_t>& budgets) const {
+    for (ItemId i = 0; i < budgets.size(); ++i) {
+      if (SeedCount(i) > budgets[i]) {
+        return Status::FailedPrecondition(
+            "item i" + std::to_string(i) + " allocated to " +
+            std::to_string(SeedCount(i)) + " seeds, budget " +
+            std::to_string(budgets[i]));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::pair<NodeId, ItemSet>> entries_;
+};
+
+}  // namespace uic

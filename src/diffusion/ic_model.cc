@@ -1,0 +1,65 @@
+#include "diffusion/ic_model.h"
+
+#include <atomic>
+
+#include "common/parallel.h"
+
+namespace uic {
+
+IcSimulator::IcSimulator(const Graph& graph)
+    : graph_(graph), visited_epoch_(graph.num_nodes(), 0) {}
+
+size_t IcSimulator::RunOnce(const std::vector<NodeId>& seeds, Rng& rng,
+                            std::vector<NodeId>* activated_out) {
+  ++epoch_;
+  if (activated_out) activated_out->clear();
+  frontier_.clear();
+  size_t activated = 0;
+  for (NodeId s : seeds) {
+    if (visited_epoch_[s] == epoch_) continue;
+    visited_epoch_[s] = epoch_;
+    frontier_.push_back(s);
+    ++activated;
+    if (activated_out) activated_out->push_back(s);
+  }
+  while (!frontier_.empty()) {
+    next_.clear();
+    for (NodeId u : frontier_) {
+      auto nbrs = graph_.OutNeighbors(u);
+      auto probs = graph_.OutProbs(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const NodeId v = nbrs[k];
+        if (visited_epoch_[v] == epoch_) continue;
+        if (!rng.NextBernoulli(probs[k])) continue;
+        visited_epoch_[v] = epoch_;
+        next_.push_back(v);
+        ++activated;
+        if (activated_out) activated_out->push_back(v);
+      }
+    }
+    frontier_.swap(next_);
+  }
+  return activated;
+}
+
+double EstimateSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                      size_t num_simulations, uint64_t seed,
+                      unsigned workers) {
+  if (num_simulations == 0) return 0.0;
+  if (workers == 0) workers = DefaultWorkers();
+  std::atomic<uint64_t> total{0};
+  ParallelFor(num_simulations, workers,
+              [&](unsigned w, size_t begin, size_t end) {
+                IcSimulator sim(graph);
+                Rng rng = Rng::Split(seed, w);
+                uint64_t local = 0;
+                for (size_t i = begin; i < end; ++i) {
+                  local += sim.RunOnce(seeds, rng);
+                }
+                total.fetch_add(local, std::memory_order_relaxed);
+              });
+  return static_cast<double>(total.load()) /
+         static_cast<double>(num_simulations);
+}
+
+}  // namespace uic

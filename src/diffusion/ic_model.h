@@ -1,0 +1,38 @@
+// Classic single-item Independent Cascade (IC) simulation (§2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace uic {
+
+/// \brief Reusable IC forward simulator (buffers amortized across runs).
+class IcSimulator {
+ public:
+  explicit IcSimulator(const Graph& graph);
+
+  /// Run one cascade from `seeds`; returns the number of activated nodes.
+  /// If `activated_out` is non-null it receives the activated node list.
+  size_t RunOnce(const std::vector<NodeId>& seeds, Rng& rng,
+                 std::vector<NodeId>* activated_out = nullptr);
+
+ private:
+  const Graph& graph_;
+  std::vector<uint32_t> visited_epoch_;
+  uint32_t epoch_ = 0;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+};
+
+/// \brief Monte-Carlo estimate of the influence spread σ(S).
+///
+/// Runs `num_simulations` cascades split over `workers` threads with
+/// independent deterministic RNG streams derived from `seed`.
+double EstimateSpread(const Graph& graph, const std::vector<NodeId>& seeds,
+                      size_t num_simulations, uint64_t seed,
+                      unsigned workers = 0);
+
+}  // namespace uic

@@ -1,0 +1,98 @@
+// Linear Threshold (LT) diffusion and the UIC-LT combination.
+//
+// The paper notes (§5) that all results carry over unchanged to any
+// *triggering model*; LT is the canonical second instance. In live-edge
+// form, each node independently selects at most one in-neighbor, choosing
+// in-neighbor u of v with probability w(u,v) (and none with probability
+// 1 − Σ_u w(u,v)); v is activated iff its selected in-neighbor is.
+//
+// Edge weights are read from the graph's probability field and must
+// satisfy Σ_u w(u,v) <= 1 per node (the weighted-cascade assignment
+// 1/din(v) satisfies this with equality). Live in-edges are sampled
+// lazily, one per touched node per diffusion, so a run costs
+// O(touched-state), mirroring the IC simulators.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "diffusion/allocation.h"
+#include "diffusion/uic_model.h"
+#include "graph/graph.h"
+#include "items/utility_table.h"
+
+namespace uic {
+
+/// \brief Single-item LT spread simulator (live-edge formulation).
+class LtSimulator {
+ public:
+  explicit LtSimulator(const Graph& graph);
+
+  /// Run one diffusion; returns the number of activated nodes.
+  size_t RunOnce(const std::vector<NodeId>& seeds, Rng& rng);
+
+ private:
+  /// Lazily sample v's live in-neighbor for the current run.
+  /// Returns true and sets `*src` if v selected one.
+  bool LiveInNeighbor(NodeId v, Rng& rng, NodeId* src);
+
+  const Graph& graph_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> visited_epoch_;
+  std::vector<uint32_t> live_epoch_;
+  std::vector<NodeId> live_src_;     // sampled in-neighbor (or kNone)
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+
+  static constexpr NodeId kNone = ~NodeId{0};
+};
+
+/// \brief Monte-Carlo LT spread estimate.
+double EstimateSpreadLt(const Graph& graph, const std::vector<NodeId>& seeds,
+                        size_t num_simulations, uint64_t seed,
+                        unsigned workers = 0);
+
+/// \brief UIC dynamics over LT (triggering) propagation.
+///
+/// Identical adoption semantics to `UicSimulator` (desire sets, local-
+/// maximum adoption, progressive growth); only the edge mechanism changes:
+/// u's adoption reaches v iff v's (lazily sampled) live in-neighbor is u.
+class UicLtSimulator {
+ public:
+  explicit UicLtSimulator(const Graph& graph);
+
+  UicOutcome Run(const Allocation& allocation, const UtilityTable& utilities,
+                 Rng& rng);
+
+ private:
+  bool LiveInNeighbor(NodeId v, Rng& rng, NodeId* src);
+  void Touch(NodeId v) {
+    if (node_epoch_[v] != epoch_) {
+      node_epoch_[v] = epoch_;
+      desire_[v] = kEmptyItemSet;
+      adoption_[v] = kEmptyItemSet;
+    }
+  }
+
+  const Graph& graph_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> node_epoch_;
+  std::vector<ItemSet> desire_;
+  std::vector<ItemSet> adoption_;
+  std::vector<uint32_t> live_epoch_;
+  std::vector<NodeId> live_src_;
+  std::vector<NodeId> frontier_;
+  std::vector<NodeId> next_;
+  std::vector<NodeId> touched_;
+
+  static constexpr NodeId kNone = ~NodeId{0};
+};
+
+/// \brief Monte-Carlo expected social welfare under UIC-LT.
+WelfareEstimate EstimateWelfareLt(const Graph& graph,
+                                  const Allocation& allocation,
+                                  const ItemParams& params,
+                                  size_t num_simulations, uint64_t seed,
+                                  unsigned workers = 0);
+
+}  // namespace uic

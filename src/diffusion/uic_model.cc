@@ -1,0 +1,144 @@
+#include "diffusion/uic_model.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace uic {
+
+UicSimulator::UicSimulator(const Graph& graph)
+    : graph_(graph),
+      node_epoch_(graph.num_nodes(), 0),
+      desire_(graph.num_nodes(), 0),
+      adoption_(graph.num_nodes(), 0),
+      edge_epoch_(graph.num_edges(), 0),
+      edge_live_(graph.num_edges(), 0) {}
+
+UicOutcome UicSimulator::Run(const Allocation& allocation,
+                             const UtilityTable& utilities, Rng& rng) {
+  return RunDetailed(allocation, utilities, rng, nullptr);
+}
+
+UicOutcome UicSimulator::RunDetailed(
+    const Allocation& allocation, const UtilityTable& utilities, Rng& rng,
+    std::vector<std::pair<NodeId, ItemSet>>* adoptions) {
+  ++epoch_;
+  frontier_.clear();
+  touched_.clear();
+  UicOutcome outcome;
+
+  // t = 1: seeds desire their allocated items and adopt the best subset.
+  for (const auto& [v, items] : allocation.entries()) {
+    UIC_DCHECK(v < graph_.num_nodes());
+    Touch(v);
+    desire_[v] |= items;
+    touched_.push_back(v);
+  }
+  for (const auto& [v, items] : allocation.entries()) {
+    const ItemSet best = utilities.BestAdoption(adoption_[v], desire_[v]);
+    if (best != adoption_[v]) {
+      adoption_[v] = best;
+      frontier_.push_back(v);
+    }
+  }
+
+  // t > 1: adopters test out-edges; receivers re-optimize their adoption.
+  while (!frontier_.empty()) {
+    next_.clear();
+    for (NodeId u : frontier_) {
+      const ItemSet send = adoption_[u];
+      auto nbrs = graph_.OutNeighbors(u);
+      auto probs = graph_.OutProbs(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        const size_t e = graph_.OutEdgeIndex(u, static_cast<uint32_t>(k));
+        // Each edge is tested at most once per diffusion; its live/blocked
+        // status is remembered (Fig. 1 step 1).
+        if (edge_epoch_[e] != epoch_) {
+          edge_epoch_[e] = epoch_;
+          edge_live_[e] = rng.NextBernoulli(probs[k]) ? 1 : 0;
+        }
+        if (!edge_live_[e]) continue;
+        const NodeId v = nbrs[k];
+        if (node_epoch_[v] != epoch_) {
+          Touch(v);
+          touched_.push_back(v);
+        }
+        if (IsSubset(send, desire_[v])) continue;  // nothing new to desire
+        desire_[v] |= send;
+        const ItemSet best = utilities.BestAdoption(adoption_[v], desire_[v]);
+        if (best != adoption_[v]) {
+          adoption_[v] = best;
+          // Re-activate v so it (re-)propagates its enlarged adoption set.
+          next_.push_back(v);
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+
+  if (adoptions) adoptions->clear();
+  for (NodeId v : touched_) {
+    const ItemSet a = adoption_[v];
+    if (a == kEmptyItemSet) continue;
+    outcome.welfare += utilities.Utility(a);
+    outcome.num_adopters += 1;
+    outcome.num_adoptions += Cardinality(a);
+    if (adoptions) adoptions->emplace_back(v, a);
+  }
+  return outcome;
+}
+
+WelfareEstimate EstimateWelfare(const Graph& graph,
+                                const Allocation& allocation,
+                                const ItemParams& params,
+                                size_t num_simulations, uint64_t seed,
+                                unsigned workers) {
+  WelfareEstimate estimate;
+  if (num_simulations == 0) return estimate;
+  if (workers == 0) workers = DefaultWorkers();
+
+  struct Accum {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double adopters = 0.0;
+    double adoptions = 0.0;
+  };
+  std::vector<Accum> per_worker(workers);
+
+  ParallelFor(num_simulations, workers,
+              [&](unsigned w, size_t begin, size_t end) {
+                UicSimulator sim(graph);
+                Rng rng = Rng::Split(seed, w);
+                Accum acc;
+                for (size_t i = begin; i < end; ++i) {
+                  const std::vector<double> noise = params.noise().Sample(rng);
+                  const UtilityTable table(params, noise);
+                  const UicOutcome out = sim.Run(allocation, table, rng);
+                  acc.sum += out.welfare;
+                  acc.sum_sq += out.welfare * out.welfare;
+                  acc.adopters += static_cast<double>(out.num_adopters);
+                  acc.adoptions += static_cast<double>(out.num_adoptions);
+                }
+                per_worker[w] = acc;
+              });
+
+  Accum total;
+  for (const Accum& a : per_worker) {
+    total.sum += a.sum;
+    total.sum_sq += a.sum_sq;
+    total.adopters += a.adopters;
+    total.adoptions += a.adoptions;
+  }
+  const double n = static_cast<double>(num_simulations);
+  estimate.welfare = total.sum / n;
+  const double var =
+      n > 1 ? (total.sum_sq - total.sum * total.sum / n) / (n - 1) : 0.0;
+  estimate.stderr_ = var > 0 ? std::sqrt(var / n) : 0.0;
+  estimate.avg_adopters = total.adopters / n;
+  estimate.avg_adoptions = total.adoptions / n;
+  return estimate;
+}
+
+}  // namespace uic

@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the bench binaries.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace uic {
+
+/// \brief Parses "--name value" pairs from argv.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  double GetDouble(const std::string& name, double def) const {
+    const char* v = Find(name);
+    return v ? std::atof(v) : def;
+  }
+
+  long GetInt(const std::string& name, long def) const {
+    const char* v = Find(name);
+    return v ? std::atol(v) : def;
+  }
+
+  bool GetBool(const std::string& name, bool def = false) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::string(argv_[i]) == "--" + name) return true;
+    }
+    return def;
+  }
+
+ private:
+  const char* Find(const std::string& name) const {
+    const std::string flag = "--" + name;
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (flag == argv_[i]) return argv_[i + 1];
+    }
+    return nullptr;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace uic

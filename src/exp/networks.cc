@@ -1,0 +1,88 @@
+#include "exp/networks.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace uic {
+
+namespace {
+
+NodeId Scaled(NodeId base, double scale) {
+  const double n = static_cast<double>(base) * scale;
+  return std::max<NodeId>(64, static_cast<NodeId>(n));
+}
+
+}  // namespace
+
+Graph MakeFlixsterLike(uint64_t seed, double scale) {
+  Graph g = GeneratePreferentialAttachment(Scaled(7600, scale),
+                                           /*out_per_node=*/5,
+                                           /*undirected=*/true, seed);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+Graph MakeDoubanBookLike(uint64_t seed, double scale) {
+  Graph g = GeneratePreferentialAttachment(Scaled(23300, scale),
+                                           /*out_per_node=*/5,
+                                           /*undirected=*/false, seed);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+Graph MakeDoubanMovieLike(uint64_t seed, double scale) {
+  Graph g = GeneratePreferentialAttachment(Scaled(34900, scale),
+                                           /*out_per_node=*/6,
+                                           /*undirected=*/false, seed);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+Graph MakeTwitterLike(uint64_t seed, double scale) {
+  Graph g = GeneratePreferentialAttachment(Scaled(40000, scale),
+                                           /*out_per_node=*/22,
+                                           /*undirected=*/false, seed);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+Graph MakeOrkutLike(uint64_t seed, double scale) {
+  Graph g = GeneratePreferentialAttachment(Scaled(30000, scale),
+                                           /*out_per_node=*/20,
+                                           /*undirected=*/true, seed);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+std::vector<NetworkInfo> DescribeAllNetworks(uint64_t seed, double scale) {
+  std::vector<NetworkInfo> infos;
+  {
+    Graph g = MakeFlixsterLike(seed, scale);
+    infos.push_back({"Flixster", false, 7600, 71700, g.num_nodes(),
+                     g.num_edges()});
+  }
+  {
+    Graph g = MakeDoubanBookLike(seed, scale);
+    infos.push_back({"Douban-Book", true, 23300, 141000, g.num_nodes(),
+                     g.num_edges()});
+  }
+  {
+    Graph g = MakeDoubanMovieLike(seed, scale);
+    infos.push_back({"Douban-Movie", true, 34900, 274000, g.num_nodes(),
+                     g.num_edges()});
+  }
+  {
+    Graph g = MakeTwitterLike(seed, scale);
+    infos.push_back({"Twitter", true, 41700000, 1470000000, g.num_nodes(),
+                     g.num_edges()});
+  }
+  {
+    Graph g = MakeOrkutLike(seed, scale);
+    infos.push_back({"Orkut", false, 3070000, 234000000, g.num_nodes(),
+                     g.num_edges()});
+  }
+  return infos;
+}
+
+}  // namespace uic

@@ -1,0 +1,45 @@
+// Shared experiment-runner plumbing for the bench binaries: run a named
+// allocation algorithm, evaluate its expected welfare under UIC, and
+// collect (welfare, time, RR sets) rows.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/bundle_grd.h"
+#include "diffusion/uic_model.h"
+
+namespace uic {
+
+/// \brief One (algorithm, budget point) measurement.
+struct SuiteRow {
+  std::string algorithm;
+  std::string setting;     ///< e.g. "k=30" or "total=500"
+  double welfare = 0.0;
+  double welfare_stderr = 0.0;
+  double seconds = 0.0;
+  size_t num_rr_sets = 0;
+};
+
+/// \brief Evaluate an allocation's expected welfare and fill a row.
+inline SuiteRow EvaluateRow(const std::string& algorithm,
+                            const std::string& setting, const Graph& graph,
+                            const AllocationResult& result,
+                            const ItemParams& params, size_t mc,
+                            uint64_t eval_seed, unsigned workers = 0) {
+  SuiteRow row;
+  row.algorithm = algorithm;
+  row.setting = setting;
+  const WelfareEstimate est =
+      EstimateWelfare(graph, result.allocation, params, mc, eval_seed,
+                      workers);
+  row.welfare = est.welfare;
+  row.welfare_stderr = est.stderr_;
+  row.seconds = result.seconds;
+  row.num_rr_sets = result.num_rr_sets;
+  return row;
+}
+
+}  // namespace uic

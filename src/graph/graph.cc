@@ -1,0 +1,126 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace uic {
+
+void Graph::ApplyWeightedCascade() {
+  // p(u,v) = 1 / din(v): write via the reverse adjacency (contiguous per
+  // target), then mirror into the forward arrays.
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const uint32_t din = InDegree(v);
+    if (din == 0) continue;
+    const float p = 1.0f / static_cast<float>(din);
+    for (uint32_t k = in_offsets_[v]; k < in_offsets_[v + 1]; ++k) {
+      in_probs_[k] = p;
+    }
+  }
+  // Mirror: forward prob of (u,v) equals 1/din(v).
+  std::vector<float> inv_din(num_nodes_, 0.0f);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const uint32_t din = InDegree(v);
+    inv_din[v] = din == 0 ? 0.0f : 1.0f / static_cast<float>(din);
+  }
+  for (size_t e = 0; e < out_targets_.size(); ++e) {
+    out_probs_[e] = inv_din[out_targets_[e]];
+  }
+}
+
+void Graph::ApplyConstantProbability(double p) {
+  std::fill(out_probs_.begin(), out_probs_.end(), static_cast<float>(p));
+  std::fill(in_probs_.begin(), in_probs_.end(), static_cast<float>(p));
+}
+
+void Graph::ApplyTrivalency(const std::vector<double>& choices, uint64_t seed) {
+  UIC_CHECK(!choices.empty());
+  // Assign per-(u,v) deterministically from a hash of the edge so that the
+  // forward and reverse arrays agree.
+  auto edge_prob = [&](NodeId u, NodeId v) {
+    SplitMix64 sm((static_cast<uint64_t>(u) << 32 | v) ^ seed);
+    return static_cast<float>(choices[sm.Next() % choices.size()]);
+  };
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (uint32_t k = out_offsets_[u]; k < out_offsets_[u + 1]; ++k) {
+      out_probs_[k] = edge_prob(u, out_targets_[k]);
+    }
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (uint32_t k = in_offsets_[v]; k < in_offsets_[v + 1]; ++k) {
+      in_probs_[k] = edge_prob(in_sources_[k], v);
+    }
+  }
+}
+
+std::string Graph::Summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes_ << ", m=" << num_edges()
+     << ", avg_deg=" << AverageDegree() << ")";
+  return os.str();
+}
+
+Result<Graph> GraphBuilder::Build() {
+  for (const Edge& e : edges_) {
+    if (e.from >= num_nodes_ || e.to >= num_nodes_) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+  }
+  // Deduplicate (from, to), keeping the max probability.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.prob > b.prob;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.from == b.from && a.to == b.to;
+                           }),
+               edges_.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  const size_t m = edges_.size();
+
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.out_offsets_[e.from + 1];
+    ++g.in_offsets_[e.to + 1];
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_targets_.resize(m);
+  g.out_probs_.resize(m);
+  g.in_sources_.resize(m);
+  g.in_probs_.resize(m);
+
+  // Edges are sorted by (from, to), so forward CSR fills sequentially.
+  {
+    std::vector<uint32_t> cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      const uint32_t idx = cursor[e.from]++;
+      g.out_targets_[idx] = e.to;
+      g.out_probs_[idx] = static_cast<float>(e.prob);
+    }
+  }
+  {
+    std::vector<uint32_t> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      const uint32_t idx = cursor[e.to]++;
+      g.in_sources_[idx] = e.from;
+      g.in_probs_[idx] = static_cast<float>(e.prob);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace uic

@@ -1,0 +1,95 @@
+#include "graph/loaders.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace uic {
+
+namespace {
+
+Result<Graph> ParseStream(std::istream& in, const EdgeListOptions& options) {
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, NodeId> remap;
+  NodeId next_id = 0;
+  uint64_t max_raw = 0;
+
+  auto map_id = [&](uint64_t raw) -> NodeId {
+    if (!options.remap_ids) {
+      if (raw > max_raw) max_raw = raw;
+      return static_cast<NodeId>(raw);
+    }
+    auto [it, inserted] = remap.try_emplace(raw, next_id);
+    if (inserted) ++next_id;
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t raw_u, raw_v;
+    if (!(ls >> raw_u >> raw_v)) {
+      return Status::IOError("malformed edge at line " +
+                             std::to_string(line_no));
+    }
+    double p = 0.0;
+    if (options.read_probability) {
+      if (!(ls >> p)) {
+        return Status::IOError("missing probability at line " +
+                               std::to_string(line_no));
+      }
+      if (p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument("probability out of [0,1] at line " +
+                                       std::to_string(line_no));
+      }
+    }
+    const NodeId u = map_id(raw_u);
+    const NodeId v = map_id(raw_v);
+    edges.push_back({u, v, p});
+    if (options.undirected) edges.push_back({v, u, p});
+  }
+
+  const NodeId n = options.remap_ids ? next_id
+                                     : static_cast<NodeId>(max_raw + 1);
+  if (n == 0) return Status::InvalidArgument("empty edge list");
+  GraphBuilder builder(n);
+  for (const Edge& e : edges) builder.AddEdge(e.from, e.to, e.prob);
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ParseStream(in, options);
+}
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options) {
+  std::istringstream in(text);
+  return ParseStream(in, options);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# nodes " << graph.num_nodes() << " edges " << graph.num_edges()
+      << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.OutNeighbors(u);
+    auto probs = graph.OutProbs(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      out << u << " " << nbrs[k] << " " << probs[k] << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace uic

@@ -1,0 +1,34 @@
+// Loading graphs from SNAP-style edge lists.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace uic {
+
+/// Options controlling edge-list parsing.
+struct EdgeListOptions {
+  /// Treat each line "u v" as an undirected edge (add both directions).
+  bool undirected = false;
+  /// If the file has a third column, read it as the edge probability.
+  bool read_probability = false;
+  /// Remap arbitrary node ids to dense [0, n) (SNAP files often have gaps).
+  bool remap_ids = true;
+};
+
+/// \brief Parse a whitespace-separated edge list ("u v [p]" per line).
+///
+/// Lines starting with '#' or '%' are comments. Node count is inferred.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+/// \brief Parse an edge list from an in-memory string (used by tests).
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options = {});
+
+/// \brief Write a graph as "u v p" lines (round-trips with LoadEdgeList).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace uic

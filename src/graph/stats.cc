@@ -1,0 +1,99 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace uic {
+
+namespace {
+
+/// Union-find over node ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(NodeId n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  NodeId MaxComponent() const {
+    return *std::max_element(size_.begin(), size_.end());
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+};
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_nodes == 0) return stats;
+  stats.avg_degree = graph.AverageDegree();
+
+  DisjointSets components(graph.num_nodes());
+  std::vector<uint32_t> in_degrees(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t din = graph.InDegree(v);
+    const uint32_t dout = graph.OutDegree(v);
+    in_degrees[v] = din;
+    stats.max_in_degree = std::max(stats.max_in_degree, din);
+    stats.max_out_degree = std::max(stats.max_out_degree, dout);
+    stats.num_sources += (din == 0);
+    stats.num_sinks += (dout == 0);
+    for (NodeId u : graph.OutNeighbors(v)) components.Union(v, u);
+  }
+  stats.largest_wcc = components.MaxComponent();
+
+  // Gini coefficient of the in-degree distribution.
+  std::sort(in_degrees.begin(), in_degrees.end());
+  const double n = static_cast<double>(in_degrees.size());
+  double cum = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < in_degrees.size(); ++i) {
+    cum += in_degrees[i];
+    weighted += static_cast<double>(i + 1) * in_degrees[i];
+  }
+  if (cum > 0) {
+    stats.gini_in_degree = (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+  }
+  return stats;
+}
+
+std::vector<size_t> InDegreeLogHistogram(const Graph& graph) {
+  std::vector<size_t> hist;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t d = graph.InDegree(v);
+    size_t bucket = 0;
+    if (d >= 1) {
+      bucket = 1;
+      uint32_t hi = 1;
+      while (hi * 2 <= d) {
+        hi *= 2;
+        ++bucket;
+      }
+    }
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace uic

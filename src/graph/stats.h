@@ -1,0 +1,32 @@
+// Descriptive statistics over graphs (used by the network table bench and
+// for validating that synthetic stand-ins match their targets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uic {
+
+/// \brief Summary statistics of a graph.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  size_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  NodeId num_sources = 0;  ///< nodes with in-degree 0
+  NodeId num_sinks = 0;    ///< nodes with out-degree 0
+  NodeId largest_wcc = 0;  ///< size of the largest weakly connected comp.
+  double gini_in_degree = 0.0;  ///< inequality of the in-degree dist.
+};
+
+/// Compute all statistics in one pass (+ one union-find pass for WCC).
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// \brief Histogram of in-degrees in logarithmic buckets
+/// [0], [1], [2,3], [4,7], ... — heavy-tailed graphs show a long tail.
+std::vector<size_t> InDegreeLogHistogram(const Graph& graph);
+
+}  // namespace uic

@@ -1,0 +1,69 @@
+#include "graph/subgraph.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace uic {
+
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> dense;
+  dense.reserve(nodes.size());
+  for (NodeId i = 0; i < nodes.size(); ++i) dense.emplace(nodes[i], i);
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    const NodeId u = nodes[i];
+    auto nbrs = graph.OutNeighbors(u);
+    auto probs = graph.OutProbs(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      auto it = dense.find(nbrs[k]);
+      if (it == dense.end()) continue;
+      builder.AddEdge(i, it->second, probs[k]);
+    }
+  }
+  auto result = builder.Build();
+  UIC_CHECK(result.ok());
+  return result.MoveValue();
+}
+
+Graph BfsInducedSubgraph(const Graph& graph, NodeId root,
+                         NodeId target_nodes) {
+  UIC_CHECK_LT(root, graph.num_nodes());
+  if (target_nodes > graph.num_nodes()) target_nodes = graph.num_nodes();
+  std::vector<NodeId> order;
+  order.reserve(target_nodes);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::deque<NodeId> queue;
+  queue.push_back(root);
+  seen[root] = true;
+  NodeId scan_next = 0;  // fallback start for disconnected graphs
+  while (order.size() < target_nodes) {
+    if (queue.empty()) {
+      // Graph exhausted from this component; jump to the next unseen node.
+      while (scan_next < graph.num_nodes() && seen[scan_next]) ++scan_next;
+      if (scan_next >= graph.num_nodes()) break;
+      seen[scan_next] = true;
+      queue.push_back(scan_next);
+      continue;
+    }
+    const NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+    for (NodeId v : graph.InNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return InducedSubgraph(graph, order);
+}
+
+}  // namespace uic

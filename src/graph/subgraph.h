@@ -1,0 +1,21 @@
+// Subgraph extraction (BFS-grown prefixes for the scalability experiment,
+// Fig. 9(d)).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uic {
+
+/// \brief Induced subgraph on the first nodes reached by BFS from `root`
+/// until `target_nodes` nodes are collected (node ids are re-densified in
+/// BFS discovery order). BFS treats edges as undirected for discovery, so
+/// the grown subgraph stays weakly connected.
+Graph BfsInducedSubgraph(const Graph& graph, NodeId root, NodeId target_nodes);
+
+/// \brief Induced subgraph on an explicit node set (ids re-densified in the
+/// order given).
+Graph InducedSubgraph(const Graph& graph, const std::vector<NodeId>& nodes);
+
+}  // namespace uic

@@ -1,0 +1,26 @@
+#include "items/gap.h"
+
+#include "common/check.h"
+
+namespace uic {
+
+double GapProbability(const ItemParams& params, ItemId i, ItemSet a) {
+  UIC_CHECK_LT(i, params.num_items());
+  UIC_CHECK(!Contains(a, i));
+  const double marginal_value =
+      params.value().Value(a | ItemBit(i)) - params.value().Value(a);
+  const double threshold = params.ItemPrice(i) - marginal_value;
+  return params.noise().item(i).TailProbability(threshold);
+}
+
+TwoItemGap DeriveTwoItemGap(const ItemParams& params) {
+  UIC_CHECK_EQ(params.num_items(), 2u);
+  TwoItemGap gap;
+  gap.q1_none = GapProbability(params, 0, kEmptyItemSet);
+  gap.q2_none = GapProbability(params, 1, kEmptyItemSet);
+  gap.q1_given2 = GapProbability(params, 0, ItemBit(1));
+  gap.q2_given1 = GapProbability(params, 1, ItemBit(0));
+  return gap;
+}
+
+}  // namespace uic

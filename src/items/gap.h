@@ -1,0 +1,28 @@
+// GAP (Generalized Adoption Probability) parameter derivation, Eq. (12).
+//
+// The Com-IC model of Lu et al. is parameterized by adoption probabilities
+// q_{i|A} — the probability that a user adopts item i given it has adopted
+// exactly A. The paper shows (§4.3.1.3) how a UIC utility configuration
+// induces these parameters:
+//   q_{i|A} = Pr[ N(i) >= P(i) − ( V(A ∪ {i}) − V(A) ) ].
+#pragma once
+
+#include "items/params.h"
+
+namespace uic {
+
+/// \brief Adoption probability of item `i` given already-adopted set `a`.
+double GapProbability(const ItemParams& params, ItemId i, ItemSet a);
+
+/// \brief The four GAP parameters for a two-item configuration (Table 3).
+struct TwoItemGap {
+  double q1_none;    ///< q_{i1|∅}
+  double q2_none;    ///< q_{i2|∅}
+  double q1_given2;  ///< q_{i1|i2}
+  double q2_given1;  ///< q_{i2|i1}
+};
+
+/// Derive the two-item GAP parameters from a UIC configuration.
+TwoItemGap DeriveTwoItemGap(const ItemParams& params);
+
+}  // namespace uic

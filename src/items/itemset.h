@@ -1,0 +1,87 @@
+// Itemsets as bitmasks.
+//
+// The paper's experiments use at most 10 items; we support up to 30. An
+// `ItemSet` is a bitmask over item indices, which makes the submask
+// enumeration needed by the UIC adoption rule and by the block-generation
+// process cheap and allocation-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace uic {
+
+using ItemId = uint32_t;
+using ItemSet = uint32_t;
+
+constexpr ItemId kMaxItems = 30;
+constexpr ItemSet kEmptyItemSet = 0;
+
+/// Singleton itemset {i}.
+constexpr ItemSet ItemBit(ItemId i) { return ItemSet{1} << i; }
+
+/// Full itemset over `num_items` items.
+constexpr ItemSet FullItemSet(ItemId num_items) {
+  return num_items >= 32 ? ~ItemSet{0} : (ItemSet{1} << num_items) - 1;
+}
+
+constexpr bool Contains(ItemSet set, ItemId i) {
+  return (set >> i) & ItemSet{1};
+}
+
+constexpr bool IsSubset(ItemSet sub, ItemSet super) {
+  return (sub & ~super) == 0;
+}
+
+inline uint32_t Cardinality(ItemSet set) { return std::popcount(set); }
+
+/// Lowest item index present in a non-empty itemset.
+inline ItemId LowestItem(ItemSet set) {
+  UIC_DCHECK(set != 0);
+  return static_cast<ItemId>(std::countr_zero(set));
+}
+
+/// Highest item index present in a non-empty itemset.
+inline ItemId HighestItem(ItemSet set) {
+  UIC_DCHECK(set != 0);
+  return static_cast<ItemId>(31 - std::countl_zero(set));
+}
+
+/// \brief Invoke `fn(sub)` for every submask of `mask`, including 0 and
+/// `mask` itself. Standard descending submask enumeration.
+template <typename Fn>
+void ForEachSubset(ItemSet mask, Fn&& fn) {
+  ItemSet sub = mask;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+/// \brief Invoke `fn(i)` for every item index in `mask` (ascending).
+template <typename Fn>
+void ForEachItem(ItemSet mask, Fn&& fn) {
+  while (mask != 0) {
+    const ItemId i = static_cast<ItemId>(std::countr_zero(mask));
+    fn(i);
+    mask &= mask - 1;
+  }
+}
+
+/// Render an itemset as "{i0,i3}" for logs and error messages.
+inline std::string ItemSetToString(ItemSet set) {
+  std::string out = "{";
+  bool first = true;
+  ForEachItem(set, [&](ItemId i) {
+    if (!first) out += ",";
+    out += "i" + std::to_string(i);
+    first = false;
+  });
+  return out + "}";
+}
+
+}  // namespace uic

@@ -1,0 +1,93 @@
+// Per-item zero-mean noise model.
+//
+// The UIC model attaches an independent zero-mean noise term N(i) to each
+// item; itemset noise is additive: N(I) = Σ_{i∈I} N(i). A *noise world* is
+// one sample of all item noises, drawn at the start of a diffusion and held
+// fixed until it terminates (§3.2.3).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "items/itemset.h"
+
+namespace uic {
+
+/// \brief Distribution of one item's noise term.
+struct ItemNoise {
+  enum class Kind {
+    kZero,      ///< deterministic 0 (no uncertainty)
+    kGaussian,  ///< N(0, sigma^2)
+    kUniform,   ///< U[-half_width, +half_width] (bounded; used by the
+                ///< non-submodularity counterexamples of Theorem 1)
+  };
+  Kind kind = Kind::kZero;
+  double param = 0.0;  ///< sigma for kGaussian, half_width for kUniform
+
+  static ItemNoise Zero() { return {Kind::kZero, 0.0}; }
+  static ItemNoise Gaussian(double sigma) { return {Kind::kGaussian, sigma}; }
+  static ItemNoise Uniform(double half_width) {
+    return {Kind::kUniform, half_width};
+  }
+
+  double Sample(Rng& rng) const {
+    switch (kind) {
+      case Kind::kZero: return 0.0;
+      case Kind::kGaussian: return rng.NextGaussian(0.0, param);
+      case Kind::kUniform: return rng.NextUniform(-param, param);
+    }
+    return 0.0;
+  }
+
+  /// P[noise >= threshold] in closed form (used for GAP derivation).
+  double TailProbability(double threshold) const {
+    switch (kind) {
+      case Kind::kZero: return threshold <= 0.0 ? 1.0 : 0.0;
+      case Kind::kGaussian: {
+        if (param == 0.0) return threshold <= 0.0 ? 1.0 : 0.0;
+        return 0.5 * std::erfc(threshold / (param * std::sqrt(2.0)));
+      }
+      case Kind::kUniform: {
+        if (threshold <= -param) return 1.0;
+        if (threshold >= param) return 0.0;
+        return (param - threshold) / (2.0 * param);
+      }
+    }
+    return 0.0;
+  }
+};
+
+/// \brief Per-item independent noise; samples one noise world.
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  explicit NoiseModel(std::vector<ItemNoise> items)
+      : items_(std::move(items)) {}
+
+  /// All items noise-free (deterministic utilities).
+  static NoiseModel Zero(ItemId num_items) {
+    return NoiseModel(std::vector<ItemNoise>(num_items, ItemNoise::Zero()));
+  }
+
+  /// All items N(0, sigma^2).
+  static NoiseModel IidGaussian(ItemId num_items, double sigma) {
+    return NoiseModel(
+        std::vector<ItemNoise>(num_items, ItemNoise::Gaussian(sigma)));
+  }
+
+  ItemId num_items() const { return static_cast<ItemId>(items_.size()); }
+  const ItemNoise& item(ItemId i) const { return items_[i]; }
+
+  /// Draw one noise world (one value per item).
+  std::vector<double> Sample(Rng& rng) const {
+    std::vector<double> w(items_.size());
+    for (size_t i = 0; i < items_.size(); ++i) w[i] = items_[i].Sample(rng);
+    return w;
+  }
+
+ private:
+  std::vector<ItemNoise> items_;
+};
+
+}  // namespace uic

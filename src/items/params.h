@@ -1,0 +1,71 @@
+// The UIC model parameters `Param = (V, P, N)` (§3.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "items/itemset.h"
+#include "items/noise.h"
+#include "items/price_function.h"
+#include "items/value_function.h"
+
+namespace uic {
+
+/// \brief Bundles valuation, prices, and the noise model.
+///
+/// Utility of itemset I in a noise world w is
+///   U_w(I) = V(I) − P(I) + Σ_{i∈I} w_i,
+/// with expectation V(I) − P(I) (the "deterministic utility").
+///
+/// Prices are additive by default (the paper's main setting); a generic
+/// (e.g. submodular volume-discount) `PriceFunction` may be supplied
+/// instead — supermodularity of the utility, and hence the bundleGRD
+/// guarantee, survives any submodular price (§5).
+class ItemParams {
+ public:
+  /// Additive prices (the common case).
+  ItemParams(std::shared_ptr<const ValueFunction> value,
+             std::vector<double> prices, NoiseModel noise)
+      : ItemParams(std::move(value),
+                   std::make_shared<AdditivePriceFunction>(std::move(prices)),
+                   std::move(noise)) {}
+
+  /// Generic price function.
+  ItemParams(std::shared_ptr<const ValueFunction> value,
+             std::shared_ptr<const PriceFunction> price, NoiseModel noise)
+      : value_(std::move(value)),
+        price_(std::move(price)),
+        noise_(std::move(noise)) {
+    UIC_CHECK(value_ != nullptr);
+    UIC_CHECK(price_ != nullptr);
+    UIC_CHECK_EQ(price_->num_items(), value_->num_items());
+    UIC_CHECK_EQ(noise_.num_items(), value_->num_items());
+    UIC_CHECK_LE(num_items(), kMaxItems);
+  }
+
+  ItemId num_items() const { return value_->num_items(); }
+  ItemSet full_set() const { return FullItemSet(num_items()); }
+
+  const ValueFunction& value() const { return *value_; }
+  const PriceFunction& price() const { return *price_; }
+  const NoiseModel& noise() const { return noise_; }
+
+  /// Price of the singleton {i}.
+  double ItemPrice(ItemId i) const { return price_->Price(ItemBit(i)); }
+
+  /// Price of an itemset.
+  double Price(ItemSet set) const { return price_->Price(set); }
+
+  /// Deterministic (expected) utility V(I) − P(I).
+  double DeterministicUtility(ItemSet set) const {
+    return value_->Value(set) - price_->Price(set);
+  }
+
+ private:
+  std::shared_ptr<const ValueFunction> value_;
+  std::shared_ptr<const PriceFunction> price_;
+  NoiseModel noise_;
+};
+
+}  // namespace uic

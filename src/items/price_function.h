@@ -1,0 +1,91 @@
+// Itemset pricing P : 2^I -> R+.
+//
+// The paper's main setting prices bundles additively; §5 observes that a
+// *submodular* price (bundle discounts) leaves the utility supermodular
+// and the bundleGRD guarantee intact. This header provides both: the
+// default additive price plus a volume-discount submodular price.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "items/itemset.h"
+
+namespace uic {
+
+/// \brief Abstract itemset price. P(∅) must be 0; P must be monotone.
+class PriceFunction {
+ public:
+  virtual ~PriceFunction() = default;
+  virtual ItemId num_items() const = 0;
+  virtual double Price(ItemSet set) const = 0;
+};
+
+/// \brief Additive price: P(S) = Σ_{i∈S} p_i (the paper's default).
+class AdditivePriceFunction : public PriceFunction {
+ public:
+  explicit AdditivePriceFunction(std::vector<double> prices)
+      : prices_(std::move(prices)) {}
+
+  ItemId num_items() const override {
+    return static_cast<ItemId>(prices_.size());
+  }
+  double Price(ItemSet set) const override {
+    double p = 0.0;
+    ForEachItem(set, [&](ItemId i) { p += prices_[i]; });
+    return p;
+  }
+  double ItemPrice(ItemId i) const { return prices_[i]; }
+
+ private:
+  std::vector<double> prices_;
+};
+
+/// \brief Volume-discount price: the j-th most expensive item in the
+/// bundle is charged p_i · discount^(j−1), with discount ∈ (0, 1].
+///
+/// This price is submodular (the marginal price of adding an item shrinks
+/// as the bundle grows), so utility V − P + N stays supermodular when V
+/// is supermodular — the setting of the paper's §5 remark.
+class VolumeDiscountPriceFunction : public PriceFunction {
+ public:
+  VolumeDiscountPriceFunction(std::vector<double> prices, double discount)
+      : prices_(std::move(prices)), discount_(discount) {
+    UIC_CHECK_GT(discount_, 0.0);
+    UIC_CHECK_LE(discount_, 1.0);
+  }
+
+  ItemId num_items() const override {
+    return static_cast<ItemId>(prices_.size());
+  }
+
+  double Price(ItemSet set) const override {
+    // Collect bundle prices, sort descending, apply geometric discounts.
+    double bundle[kMaxItems];
+    uint32_t count = 0;
+    ForEachItem(set, [&](ItemId i) { bundle[count++] = prices_[i]; });
+    // Insertion sort (bundles are tiny).
+    for (uint32_t a = 1; a < count; ++a) {
+      const double x = bundle[a];
+      uint32_t b = a;
+      while (b > 0 && bundle[b - 1] < x) {
+        bundle[b] = bundle[b - 1];
+        --b;
+      }
+      bundle[b] = x;
+    }
+    double total = 0.0, factor = 1.0;
+    for (uint32_t a = 0; a < count; ++a) {
+      total += bundle[a] * factor;
+      factor *= discount_;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<double> prices_;
+  double discount_;
+};
+
+}  // namespace uic

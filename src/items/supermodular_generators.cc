@@ -1,0 +1,135 @@
+#include "items/supermodular_generators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uic {
+
+namespace {
+
+double AdditivePrice(const std::vector<double>& prices, ItemSet set) {
+  double p = 0.0;
+  ForEachItem(set, [&](ItemId i) { p += prices[i]; });
+  return p;
+}
+
+}  // namespace
+
+std::shared_ptr<TabularValueFunction> MakeConeValue(
+    ItemId num_items, ItemId core_item, const std::vector<double>& prices,
+    double core_utility, double per_extra_utility, double non_core_utility) {
+  UIC_CHECK_LT(core_item, num_items);
+  UIC_CHECK_EQ(prices.size(), num_items);
+  UIC_CHECK_GE(core_utility, 0.0);
+  UIC_CHECK_GE(per_extra_utility, 0.0);
+  UIC_CHECK_LE(non_core_utility, 0.0);
+  const size_t n = size_t{1} << num_items;
+  std::vector<double> table(n, 0.0);
+  for (ItemSet s = 1; s < n; ++s) {
+    const double card = static_cast<double>(Cardinality(s));
+    double target_utility;
+    if (Contains(s, core_item)) {
+      target_utility = core_utility + per_extra_utility * (card - 1.0);
+    } else {
+      target_utility = non_core_utility * card;
+    }
+    table[s] = target_utility + AdditivePrice(prices, s);
+  }
+  return std::make_shared<TabularValueFunction>(num_items, std::move(table));
+}
+
+std::shared_ptr<TabularValueFunction> MakeLevelwiseSupermodularValue(
+    const std::vector<double>& level1_values, double boost_lo,
+    double boost_hi, uint64_t seed) {
+  const ItemId k = static_cast<ItemId>(level1_values.size());
+  UIC_CHECK_GT(k, 0u);
+  UIC_CHECK_LE(k, kMaxItems);
+  UIC_CHECK_LE(boost_lo, boost_hi);
+  UIC_CHECK_GT(boost_lo, 0.0);
+  Rng rng(seed);
+  const size_t n = size_t{1} << k;
+  std::vector<double> table(n, 0.0);
+  for (ItemId i = 0; i < k; ++i) {
+    UIC_CHECK_GE(level1_values[i], 0.0);
+    table[ItemBit(i)] = level1_values[i];
+  }
+  // Level-wise construction per Eq. (13): process masks by cardinality.
+  std::vector<ItemSet> by_level;
+  for (uint32_t t = 2; t <= k; ++t) {
+    by_level.clear();
+    for (ItemSet s = 0; s < n; ++s) {
+      if (Cardinality(s) == t) by_level.push_back(s);
+    }
+    for (ItemSet a : by_level) {
+      double best = 0.0;
+      ForEachItem(a, [&](ItemId i) {
+        const ItemSet rest = a & ~ItemBit(i);
+        // cand(i, A) = max over (t-2)-subsets B of A\{i} of V(i|B) + ε.
+        double max_marginal = 0.0;
+        bool found = false;
+        ForEachSubset(rest, [&](ItemSet b) {
+          if (Cardinality(b) != t - 2) return;
+          const double marginal = table[b | ItemBit(i)] - table[b];
+          if (!found || marginal > max_marginal) {
+            max_marginal = marginal;
+            found = true;
+          }
+        });
+        UIC_CHECK(found);
+        const double eps = rng.NextUniform(boost_lo, boost_hi);
+        const double candidate = table[rest] + max_marginal + eps;
+        best = std::max(best, candidate);
+      });
+      table[a] = best;
+    }
+  }
+  return std::make_shared<TabularValueFunction>(k, std::move(table));
+}
+
+std::shared_ptr<TabularValueFunction> MakeValueFromUtilities(
+    ItemId num_items, const std::vector<double>& prices,
+    const std::vector<double>& target_utilities) {
+  UIC_CHECK_EQ(prices.size(), num_items);
+  const size_t n = size_t{1} << num_items;
+  UIC_CHECK_EQ(target_utilities.size(), n);
+  UIC_CHECK(target_utilities[0] == 0.0);
+  std::vector<double> table(n);
+  for (ItemSet s = 0; s < n; ++s) {
+    table[s] = target_utilities[s] + AdditivePrice(prices, s);
+  }
+  return std::make_shared<TabularValueFunction>(num_items, std::move(table));
+}
+
+std::shared_ptr<TabularValueFunction> MakeRandomSupermodularValue(
+    ItemId num_items, Rng& rng, double base_lo, double base_hi,
+    double synergy_scale) {
+  UIC_CHECK_LE(num_items, 16u);
+  // V(S) = Σ_{i∈S} base_i + Σ_{i<j ∈ S} syn_{ij} with syn >= 0: a quadratic
+  // set function with non-negative interaction terms, hence monotone and
+  // supermodular.
+  std::vector<double> base(num_items);
+  for (auto& b : base) b = rng.NextUniform(base_lo, base_hi);
+  std::vector<std::vector<double>> syn(num_items,
+                                       std::vector<double>(num_items, 0.0));
+  for (ItemId i = 0; i < num_items; ++i) {
+    for (ItemId j = i + 1; j < num_items; ++j) {
+      syn[i][j] = rng.NextUniform(0.0, synergy_scale);
+    }
+  }
+  const size_t n = size_t{1} << num_items;
+  std::vector<double> table(n, 0.0);
+  for (ItemSet s = 1; s < n; ++s) {
+    double v = 0.0;
+    ForEachItem(s, [&](ItemId i) {
+      v += base[i];
+      ForEachItem(s, [&](ItemId j) {
+        if (i < j) v += syn[i][j];
+      });
+    });
+    table[s] = v;
+  }
+  return std::make_shared<TabularValueFunction>(num_items, std::move(table));
+}
+
+}  // namespace uic

@@ -1,0 +1,49 @@
+// Constructors for the paper's synthetic supermodular value functions.
+#pragma once
+
+#include <memory>
+
+#include "common/random.h"
+#include "items/value_function.h"
+
+namespace uic {
+
+/// \brief Configuration 6/7 "cone" valuation (§4.3.3.1).
+///
+/// One designated *core* item is necessary for positive utility: every
+/// superset of the core has deterministic utility `core_utility` plus
+/// `per_extra_utility` for each additional item; every itemset missing the
+/// core has a negative deterministic utility (`non_core_utility` per item).
+/// Given `prices`, builds the value table V(S) = targetU(S) + P(S), which
+/// is supermodular for non_core_utility < 0 <= core_utility.
+std::shared_ptr<TabularValueFunction> MakeConeValue(
+    ItemId num_items, ItemId core_item, const std::vector<double>& prices,
+    double core_utility, double per_extra_utility, double non_core_utility);
+
+/// \brief Configuration 8 level-wise random supermodular valuation
+/// (Eq. 13, Lemmas 10–11).
+///
+/// Level-1 values are `level1_values` (caller chooses signs so a random
+/// subset of items has non-negative utility); for |A|=t>1, each marginal
+/// V(i | A\{i}) is the maximum marginal of i over (t−2)-subsets of A\{i}
+/// plus a random boost ε ~ U[boost_lo, boost_hi], and
+/// V(A) = max_{i∈A} ( V(A\{i}) + V(i | A\{i}) ).
+std::shared_ptr<TabularValueFunction> MakeLevelwiseSupermodularValue(
+    const std::vector<double>& level1_values, double boost_lo,
+    double boost_hi, uint64_t seed);
+
+/// \brief Build a value table from target deterministic utilities:
+/// V(S) = target_utility(S) + P(S). Used by the two-item configurations of
+/// Table 3 where the paper specifies prices and values directly.
+std::shared_ptr<TabularValueFunction> MakeValueFromUtilities(
+    ItemId num_items, const std::vector<double>& prices,
+    const std::vector<double>& target_utilities);
+
+/// \brief Random supermodular value table for property tests: starts from
+/// an additive base and adds random non-negative pairwise-and-higher
+/// synergies via a supermodularity-preserving closure.
+std::shared_ptr<TabularValueFunction> MakeRandomSupermodularValue(
+    ItemId num_items, Rng& rng, double base_lo = 0.5, double base_hi = 3.0,
+    double synergy_scale = 1.0);
+
+}  // namespace uic

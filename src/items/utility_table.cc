@@ -1,0 +1,78 @@
+#include "items/utility_table.h"
+
+#include "common/check.h"
+
+namespace uic {
+
+UtilityTable::UtilityTable(const ItemParams& params,
+                           const std::vector<double>& noise)
+    : num_items_(params.num_items()) {
+  UIC_CHECK_EQ(noise.size(), num_items_);
+  const size_t n = size_t{1} << num_items_;
+  util_.resize(n);
+  // Noise is additive by model definition; accumulate it with a subset DP
+  // (value for mask m = value for m-without-lowest-bit + that bit's term).
+  // Price goes through the generic PriceFunction (additive by default).
+  std::vector<double> additive_noise(n, 0.0);
+  for (ItemSet m = 1; m < n; ++m) {
+    const ItemId low = LowestItem(m);
+    additive_noise[m] = additive_noise[m & (m - 1)] + noise[low];
+  }
+  for (ItemSet m = 0; m < n; ++m) {
+    util_[m] = params.value().Value(m) - params.Price(m) + additive_noise[m];
+  }
+  UIC_CHECK(util_[0] == 0.0);  // V(∅)=0, P(∅)=0, N(∅)=0.
+}
+
+ItemSet UtilityTable::BestAdoption(ItemSet adopted, ItemSet desire) const {
+  UIC_DCHECK(IsSubset(adopted, desire));
+  const ItemSet free = desire & ~adopted;
+  double best = util_[adopted];
+  uint32_t best_card = Cardinality(adopted);
+  ItemSet best_set = adopted;
+  bool multiple_ties = false;
+  constexpr double kTieTol = 1e-9;
+  ForEachSubset(free, [&](ItemSet sub) {
+    const ItemSet t = adopted | sub;
+    const double u = util_[t];
+    if (u > best + kTieTol) {
+      best = u;
+      best_card = Cardinality(t);
+      best_set = t;
+      multiple_ties = false;
+    } else if (u >= best - kTieTol) {
+      // Tie: prefer larger cardinality; record that ties exist so we can
+      // resolve via union below.
+      const uint32_t card = Cardinality(t);
+      if (card > best_card) {
+        best_card = card;
+        best_set = t;
+      }
+      multiple_ties = true;
+    }
+  });
+  if (multiple_ties) {
+    // Union of all tied maximizers (Lemma 1: for supermodular U the union
+    // of tied local maxima is itself a maximizer). If U is not
+    // supermodular the union may not achieve the max; in that case we keep
+    // the largest-cardinality maximizer found.
+    ItemSet unioned = 0;
+    ForEachSubset(free, [&](ItemSet sub) {
+      const ItemSet t = adopted | sub;
+      if (util_[t] >= best - kTieTol) unioned |= t;
+    });
+    if (util_[unioned] >= best - kTieTol) best_set = unioned;
+  }
+  return best_set;
+}
+
+bool UtilityTable::IsLocalMaximum(ItemSet set, double tol) const {
+  const double u = util_[set];
+  bool ok = true;
+  ForEachSubset(set, [&](ItemSet s) {
+    if (util_[s] > u + tol) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace uic

@@ -1,0 +1,72 @@
+#include "items/value_function.h"
+
+#include "common/check.h"
+
+namespace uic {
+
+TabularValueFunction::TabularValueFunction(ItemId num_items,
+                                           std::vector<double> table)
+    : num_items_(num_items), table_(std::move(table)) {
+  UIC_CHECK_LE(num_items_, kMaxItems);
+  UIC_CHECK_EQ(table_.size(), size_t{1} << num_items_);
+}
+
+TabularValueFunction TabularValueFunction::FromFunction(
+    const ValueFunction& fn) {
+  const ItemId k = fn.num_items();
+  std::vector<double> table(size_t{1} << k);
+  for (ItemSet s = 0; s < table.size(); ++s) table[s] = fn.Value(s);
+  return TabularValueFunction(k, std::move(table));
+}
+
+bool IsMonotone(const ValueFunction& fn, double tol) {
+  const ItemSet full = FullItemSet(fn.num_items());
+  for (ItemSet t = 0; t <= full; ++t) {
+    const double vt = fn.Value(t);
+    bool ok = true;
+    ForEachSubset(t, [&](ItemSet s) {
+      if (fn.Value(s) > vt + tol) ok = false;
+    });
+    if (!ok) return false;
+    if (t == full) break;
+  }
+  return true;
+}
+
+namespace {
+
+enum class Modularity { kSuper, kSub };
+
+bool CheckModularity(const ValueFunction& fn, Modularity mode, double tol) {
+  const ItemId k = fn.num_items();
+  const ItemSet full = FullItemSet(k);
+  // For each T and x ∉ T, compare the marginal of x w.r.t. every S ⊆ T.
+  for (ItemSet t = 0; t <= full; ++t) {
+    for (ItemId x = 0; x < k; ++x) {
+      if (Contains(t, x)) continue;
+      const double mt = fn.Value(t | ItemBit(x)) - fn.Value(t);
+      bool ok = true;
+      ForEachSubset(t, [&](ItemSet s) {
+        if (s == t) return;
+        const double ms = fn.Value(s | ItemBit(x)) - fn.Value(s);
+        if (mode == Modularity::kSuper && ms > mt + tol) ok = false;
+        if (mode == Modularity::kSub && ms < mt - tol) ok = false;
+      });
+      if (!ok) return false;
+    }
+    if (t == full) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsSupermodular(const ValueFunction& fn, double tol) {
+  return CheckModularity(fn, Modularity::kSuper, tol);
+}
+
+bool IsSubmodular(const ValueFunction& fn, double tol) {
+  return CheckModularity(fn, Modularity::kSub, tol);
+}
+
+}  // namespace uic

@@ -1,0 +1,76 @@
+// Item valuation functions V : 2^I -> R.
+//
+// The UIC model assumes V is monotone; the complementary-items setting of
+// §4 additionally assumes V is supermodular. Checkers for both properties
+// are provided and used by tests and by the Configuration-8 generator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "items/itemset.h"
+
+namespace uic {
+
+/// \brief Abstract valuation over itemsets. V(∅) must be 0.
+class ValueFunction {
+ public:
+  virtual ~ValueFunction() = default;
+
+  virtual ItemId num_items() const = 0;
+
+  /// Valuation of the itemset `set`.
+  virtual double Value(ItemSet set) const = 0;
+};
+
+/// \brief Dense table of 2^k values (the workhorse implementation).
+class TabularValueFunction : public ValueFunction {
+ public:
+  /// Construct from an explicit table; `table.size()` must be `2^k`.
+  TabularValueFunction(ItemId num_items, std::vector<double> table);
+
+  /// Materialize any value function into a table.
+  static TabularValueFunction FromFunction(const ValueFunction& fn);
+
+  ItemId num_items() const override { return num_items_; }
+  double Value(ItemSet set) const override { return table_[set]; }
+
+  /// Mutable access used by builders/generators.
+  void SetValue(ItemSet set, double v) { table_[set] = v; }
+
+ private:
+  ItemId num_items_;
+  std::vector<double> table_;
+};
+
+/// \brief Additive valuation: V(S) = Σ_{i∈S} item_values[i] (modular; used
+/// by Configuration 5 where utility is additive by design).
+class AdditiveValueFunction : public ValueFunction {
+ public:
+  explicit AdditiveValueFunction(std::vector<double> item_values)
+      : item_values_(std::move(item_values)) {}
+
+  ItemId num_items() const override {
+    return static_cast<ItemId>(item_values_.size());
+  }
+  double Value(ItemSet set) const override {
+    double v = 0.0;
+    ForEachItem(set, [&](ItemId i) { v += item_values_[i]; });
+    return v;
+  }
+
+ private:
+  std::vector<double> item_values_;
+};
+
+/// True iff V(S) <= V(T) for all S ⊆ T (checked exhaustively, O(3^k)).
+bool IsMonotone(const ValueFunction& fn, double tol = 1e-9);
+
+/// True iff V is supermodular: for all S ⊆ T and x ∉ T,
+/// V(S∪{x}) − V(S) <= V(T∪{x}) − V(T). Exhaustive, O(3^k · k).
+bool IsSupermodular(const ValueFunction& fn, double tol = 1e-9);
+
+/// True iff V is submodular (reverse inequality).
+bool IsSubmodular(const ValueFunction& fn, double tol = 1e-9);
+
+}  // namespace uic

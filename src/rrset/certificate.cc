@@ -1,0 +1,83 @@
+#include "rrset/certificate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "rrset/node_selection.h"
+
+namespace uic {
+
+namespace {
+
+/// Chernoff lower bound on the true mean given `cover` successes out of
+/// `theta` trials scaled by n: solves the standard quadratic relaxation
+/// (cf. OPIM Eq. 4).
+double CoverageLowerBound(double cover, double theta, double n,
+                          double log_term) {
+  if (cover <= 0.0) return 0.0;
+  const double a = std::sqrt(cover + 2.0 * log_term / 9.0);
+  const double b = std::sqrt(log_term / 2.0);
+  double x = a - b;
+  if (x < 0.0) x = 0.0;
+  const double est = x * x - log_term / 18.0;
+  return std::max(0.0, est / theta * n);
+}
+
+/// Chernoff upper bound on the true mean (cf. OPIM Eq. 5).
+double CoverageUpperBound(double cover, double theta, double n,
+                          double log_term) {
+  const double x = std::sqrt(cover + log_term / 2.0) +
+                   std::sqrt(log_term / 2.0);
+  return x * x / theta * n;
+}
+
+}  // namespace
+
+SpreadCertificate CertifySeedSet(const Graph& graph,
+                                 const std::vector<NodeId>& seeds,
+                                 size_t num_rr_sets, double delta,
+                                 uint64_t seed, unsigned workers,
+                                 RrOptions rr_options) {
+  UIC_CHECK_GT(num_rr_sets, size_t{0});
+  UIC_CHECK_GT(delta, 0.0);
+  UIC_CHECK_LT(delta, 1.0);
+  SpreadCertificate cert;
+  const double n = static_cast<double>(graph.num_nodes());
+  const double theta = static_cast<double>(num_rr_sets);
+  const double log_term = std::log(2.0 / delta);
+
+  // Pool 1: upper-bound OPT_k via greedy max-cover.
+  RrCollection pool1(graph, seed ^ 0x0501u, workers, rr_options);
+  pool1.GenerateUntil(num_rr_sets);
+  const SeedSelection greedy = NodeSelection(pool1, seeds.size());
+  const double greedy_cover =
+      greedy.CoverageAt(seeds.size()) * theta;
+  // Greedy covers >= (1-1/e) of the best size-k cover, and the best cover
+  // of the sampled pool upper-bounds OPT's coverage in expectation.
+  const double opt_cover_ub =
+      CoverageUpperBound(greedy_cover / (1.0 - 1.0 / 2.718281828459045),
+                         theta, n, log_term);
+
+  // Pool 2 (independent): lower-bound σ(S) by S's own coverage.
+  RrCollection pool2(graph, seed ^ 0x0502u, workers, rr_options);
+  pool2.GenerateUntil(num_rr_sets);
+  std::vector<uint8_t> is_seed(graph.num_nodes(), 0);
+  for (NodeId v : seeds) is_seed[v] = 1;
+  double covered = 0.0;
+  for (size_t r = 0; r < pool2.size(); ++r) {
+    for (NodeId v : pool2.Set(r)) {
+      if (is_seed[v]) {
+        covered += 1.0;
+        break;
+      }
+    }
+  }
+  cert.spread_lower = CoverageLowerBound(covered, theta, n, log_term);
+  cert.opt_upper = std::min(opt_cover_ub, n);
+  cert.ratio = cert.opt_upper > 0.0 ? cert.spread_lower / cert.opt_upper : 0.0;
+  if (cert.ratio > 1.0) cert.ratio = 1.0;
+  cert.rr_sets_used = pool1.size() + pool2.size();
+  return cert;
+}
+
+}  // namespace uic

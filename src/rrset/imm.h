@@ -1,0 +1,45 @@
+// IMM (Tang et al., SIGMOD'15) with the Chen'18 regeneration fix, plus the
+// sample-size formulas shared with PRIMA (Eqs. 7–8 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rrset/node_selection.h"
+#include "rrset/rr_collection.h"
+
+namespace uic {
+
+/// log C(n, k) via lgamma (natural log).
+double LogChoose(double n, double k);
+
+/// \brief λ'_k of Eq. (7): the phase-i sample requirement.
+/// `eps_prime` is ε' = √2·ε; `ell_prime` is the boosted ℓ'.
+double LambdaPrime(double n, double k, double eps_prime, double ell_prime);
+
+/// \brief λ*_k of Eq. (8): the final sample requirement. Uses the original ε.
+double LambdaStar(double n, double k, double eps, double ell_prime);
+
+/// \brief Result of a sampling-based IM run.
+struct ImResult {
+  std::vector<NodeId> seeds;   ///< ordered seed list
+  std::vector<double> coverage;///< F_R over the final pool after each seed
+  size_t num_rr_sets = 0;      ///< final pool size (memory proxy)
+  size_t total_rr_nodes = 0;   ///< Σ |R| over the final pool
+  double sampling_seconds = 0.0;
+  double selection_seconds = 0.0;
+};
+
+/// \brief Standard single-budget IMM.
+///
+/// Equivalent to PRIMA with a single-entry budget vector (the prefix
+/// property is trivial for one budget). Returns k ordered seeds.
+/// `excluded` nodes are never selected as seeds (used by the disjoint
+/// baselines, which repeatedly call IMM on shrinking candidate sets).
+ImResult Imm(const Graph& graph, size_t k, double eps, double ell,
+             uint64_t seed, unsigned workers = 0,
+             const std::vector<NodeId>& excluded = {},
+             RrOptions rr_options = {});
+
+}  // namespace uic

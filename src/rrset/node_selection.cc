@@ -1,0 +1,108 @@
+#include "rrset/node_selection.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace uic {
+
+SeedSelection NodeSelection(const RrCollection& collection, size_t k,
+                            const std::vector<NodeId>& excluded) {
+  const Graph& graph = collection.graph();
+  const NodeId n = graph.num_nodes();
+  const size_t num_sets = collection.size();
+  SeedSelection result;
+  if (num_sets == 0 || k == 0) return result;
+
+  // Inverted index: node -> RR set ids containing it.
+  std::vector<uint32_t> deg(n, 0);
+  for (size_t r = 0; r < num_sets; ++r) {
+    for (NodeId v : collection.Set(r)) ++deg[v];
+  }
+  std::vector<size_t> node_off(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) node_off[v + 1] = node_off[v] + deg[v];
+  std::vector<uint32_t> node_sets(node_off[n]);
+  {
+    std::vector<size_t> cursor(node_off.begin(), node_off.end() - 1);
+    for (size_t r = 0; r < num_sets; ++r) {
+      for (NodeId v : collection.Set(r)) {
+        node_sets[cursor[v]++] = static_cast<uint32_t>(r);
+      }
+    }
+  }
+
+  std::vector<uint8_t> banned(n, 0);
+  for (NodeId v : excluded) banned[v] = 1;
+
+  // Lazy greedy: heap of (stale gain, node); on pop, recompute the exact
+  // gain (uncovered sets containing the node); if still the max, select.
+  std::vector<uint8_t> covered(num_sets, 0);
+  std::vector<uint8_t> selected(n, 0);
+  using Entry = std::pair<uint32_t, NodeId>;  // (gain, node)
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;  // prefer smaller node id on ties
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[v] > 0 && !banned[v]) heap.push({deg[v], v});
+  }
+
+  size_t covered_count = 0;
+  std::vector<uint32_t> fresh_gain(n);
+  for (NodeId v = 0; v < n; ++v) fresh_gain[v] = deg[v];
+  std::vector<uint32_t> stamp(n, 0);  // round at which gain was refreshed
+  uint32_t round = 0;
+
+  while (result.seeds.size() < k && !heap.empty()) {
+    auto [gain, v] = heap.top();
+    heap.pop();
+    if (selected[v]) continue;
+    if (stamp[v] != round) {
+      // Recompute the exact marginal gain.
+      uint32_t g = 0;
+      for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
+        g += covered[node_sets[idx]] == 0;
+      }
+      fresh_gain[v] = g;
+      stamp[v] = round;
+      if (!heap.empty() && g < heap.top().first) {
+        if (g > 0) heap.push({g, v});
+        continue;
+      }
+      gain = g;
+    }
+    // Select v.
+    selected[v] = 1;
+    for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
+      const uint32_t r = node_sets[idx];
+      if (!covered[r]) {
+        covered[r] = 1;
+        ++covered_count;
+      }
+    }
+    ++round;
+    result.seeds.push_back(v);
+    result.coverage.push_back(static_cast<double>(covered_count) /
+                              static_cast<double>(num_sets));
+    if (gain == 0) {
+      // All remaining gains are zero; selection order among zero-gain
+      // nodes is by node id (heap tie-break), keep going to fill k.
+    }
+  }
+  // If the graph ran out of positive-gain nodes, pad with unselected,
+  // non-excluded nodes (lowest id first) so callers always get k seeds
+  // when k <= n - |excluded|.
+  for (NodeId v = 0; v < n && result.seeds.size() < k; ++v) {
+    if (!selected[v] && !banned[v]) {
+      selected[v] = 1;
+      result.seeds.push_back(v);
+      result.coverage.push_back(static_cast<double>(covered_count) /
+                                static_cast<double>(num_sets));
+    }
+  }
+  return result;
+}
+
+}  // namespace uic

@@ -1,0 +1,31 @@
+// Greedy max-cover seed selection over RR sets ("NodeSelection" in
+// IMM/PRIMA). Deterministic: ties are broken toward the smaller node id.
+#pragma once
+
+#include <vector>
+
+#include "rrset/rr_collection.h"
+
+namespace uic {
+
+/// \brief Result of greedy max-cover: an *ordered* seed list plus the
+/// fraction of RR sets covered after each pick (so any prefix's coverage
+/// F_R(S_k) is available — the property PRIMA's budget switching relies on).
+struct SeedSelection {
+  std::vector<NodeId> seeds;       ///< greedy order, size <= k
+  std::vector<double> coverage;    ///< coverage[j] = F_R(top j+1 seeds)
+
+  double CoverageAt(size_t k) const {
+    if (seeds.empty() || k == 0) return 0.0;
+    return coverage[std::min(k, seeds.size()) - 1];
+  }
+};
+
+/// \brief Greedy max-cover of `k` nodes over the RR pool.
+///
+/// `excluded` nodes are never selected (used by the disjoint baselines).
+/// Lazy-greedy (CELF) with exact re-evaluation on pop.
+SeedSelection NodeSelection(const RrCollection& collection, size_t k,
+                            const std::vector<NodeId>& excluded = {});
+
+}  // namespace uic

@@ -1,0 +1,42 @@
+// PRIMA: PRefix-preserving Influence Maximization Algorithm (§4.2.3,
+// Algorithm 2).
+//
+// Given a budget vector ®b (sorted internally in non-increasing order),
+// PRIMA returns an *ordered* seed list S_b of size b = max(®b) such that,
+// with probability at least 1 − 1/n^ℓ, *every* prefix of size b_i is a
+// (1 − 1/e − ε)-approximation to the optimal spread OPT_{b_i}. This is
+// the component that lets bundleGRD allocate every item's seeds as a
+// prefix of one common ranking.
+//
+// Implementation notes (mirroring Algorithm 2):
+//  * ℓ is first boosted to ℓ + log2/log n, and ℓ' = log_n(n^ℓ · |®b|)
+//    pays the union bound over budgets (Lemma 9).
+//  * Budgets are processed from largest to smallest; the RR pool only
+//    grows, and when switching budgets the previous NodeSelection ordering
+//    is reused (its prefix is exactly NodeSelection at the smaller budget).
+//  * After all budgets are processed, the pool is regenerated from scratch
+//    at the final size and the returned ordering is computed on the fresh
+//    pool (the Chen'18 fix for IMM's martingale dependence issue).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rrset/imm.h"
+
+namespace uic {
+
+/// \brief Prefix-preserving multi-budget seed selection.
+///
+/// `budgets` need not be sorted; the maximum entry determines the length
+/// of the returned ordering. ε > 0, ℓ > 0.
+/// `rr_options` selects the propagation model the RR sets are sampled
+/// under (IC by default; set `linear_threshold` for LT — Theorem 2 carries
+/// over to any triggering model, §5).
+ImResult Prima(const Graph& graph, const std::vector<uint32_t>& budgets,
+               double eps, double ell, uint64_t seed, unsigned workers = 0,
+               const std::vector<NodeId>& excluded = {},
+               RrOptions rr_options = {});
+
+}  // namespace uic

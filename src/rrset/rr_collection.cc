@@ -1,0 +1,134 @@
+#include "rrset/rr_collection.h"
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace uic {
+
+RrSampler::RrSampler(const Graph& graph, RrOptions options)
+    : graph_(graph),
+      options_(options),
+      visited_epoch_(graph.num_nodes(), 0) {}
+
+size_t RrSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
+  const NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
+  return SampleRootedInto(root, rng, out);
+}
+
+size_t RrSampler::SampleRootedInto(NodeId root, Rng& rng,
+                                   std::vector<NodeId>* out) {
+  out->clear();
+  ++epoch_;
+  size_t edges = 0;
+  if (options_.node_pass_prob != nullptr) {
+    if (!rng.NextBernoulli((*options_.node_pass_prob)[root])) {
+      return edges;  // root rejected: empty RR set
+    }
+  }
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  if (options_.linear_threshold) {
+    // LT live-edge: reverse random walk — each node contributes at most
+    // one in-edge, selected with probability proportional to its weight.
+    NodeId w = root;
+    while (true) {
+      auto srcs = graph_.InNeighbors(w);
+      auto probs = graph_.InProbs(w);
+      edges += srcs.size();
+      NodeId src = ~NodeId{0};
+      double r = rng.NextDouble();
+      for (size_t k = 0; k < srcs.size(); ++k) {
+        if (r < probs[k]) {
+          src = srcs[k];
+          break;
+        }
+        r -= probs[k];
+      }
+      if (src == ~NodeId{0} || visited_epoch_[src] == epoch_) break;
+      if (options_.node_pass_prob != nullptr &&
+          !rng.NextBernoulli((*options_.node_pass_prob)[src])) {
+        break;
+      }
+      visited_epoch_[src] = epoch_;
+      out->push_back(src);
+      w = src;
+    }
+    return edges;
+  }
+  queue_.clear();
+  queue_.push_back(root);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId w = queue_[head++];
+    auto srcs = graph_.InNeighbors(w);
+    auto probs = graph_.InProbs(w);
+    edges += srcs.size();
+    for (size_t k = 0; k < srcs.size(); ++k) {
+      const NodeId u = srcs[k];
+      if (visited_epoch_[u] == epoch_) continue;
+      if (!rng.NextBernoulli(probs[k])) continue;
+      if (options_.node_pass_prob != nullptr &&
+          !rng.NextBernoulli((*options_.node_pass_prob)[u])) {
+        // Node rejected: mark visited so it is not retried through another
+        // edge (its adoption coin is flipped once), and do not traverse.
+        visited_epoch_[u] = epoch_;
+        continue;
+      }
+      visited_epoch_[u] = epoch_;
+      out->push_back(u);
+      queue_.push_back(u);
+    }
+  }
+  return edges;
+}
+
+RrCollection::RrCollection(const Graph& graph, uint64_t seed,
+                           unsigned workers, RrOptions options)
+    : graph_(graph), options_(options), workers_(workers) {
+  if (workers_ == 0) workers_ = DefaultWorkers();
+  streams_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    streams_.push_back(Rng::Split(seed, w));
+  }
+  offsets_.push_back(0);
+}
+
+void RrCollection::Clear() {
+  offsets_.assign(1, 0);
+  nodes_.clear();
+  edges_examined_ = 0;
+}
+
+void RrCollection::GenerateUntil(size_t target) {
+  if (target <= size()) return;
+  const size_t need = target - size();
+  // Each worker samples a deterministic slice using its persistent stream;
+  // results are appended in worker order so the pool content depends only
+  // on (seed, workers) and the sequence of targets.
+  struct WorkerOut {
+    std::vector<size_t> sizes;
+    std::vector<NodeId> nodes;
+    size_t edges = 0;
+  };
+  std::vector<WorkerOut> outs(workers_);
+  ParallelFor(need, workers_, [&](unsigned w, size_t begin, size_t end) {
+    RrSampler sampler(graph_, options_);
+    WorkerOut& out = outs[w];
+    std::vector<NodeId> buf;
+    for (size_t i = begin; i < end; ++i) {
+      out.edges += sampler.SampleInto(streams_[w], &buf);
+      out.sizes.push_back(buf.size());
+      out.nodes.insert(out.nodes.end(), buf.begin(), buf.end());
+    }
+  });
+  for (const WorkerOut& out : outs) {
+    for (size_t s : out.sizes) {
+      offsets_.push_back(offsets_.back() + s);
+    }
+    nodes_.insert(nodes_.end(), out.nodes.begin(), out.nodes.end());
+    edges_examined_ += out.edges;
+  }
+  UIC_CHECK_GE(size(), target);
+}
+
+}  // namespace uic

@@ -1,0 +1,97 @@
+// Random reverse-reachable (RR) set sampling and storage (§4.2.3).
+//
+// An RR set is sampled by picking a root uniformly at random and walking
+// the graph *backwards*, keeping each in-edge live with its influence
+// probability; the RR set is the set of nodes reaching the root in that
+// partial edge world. The key identity is σ(S) = n · E[ S ∩ R ≠ ∅ ].
+//
+// `RrCollection` owns a growing pool of RR sets. Generation is
+// deterministic in (seed, workers): each worker owns a persistent RNG
+// stream and a fixed slice of every growth round, so the same target sizes
+// always yield the same pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace uic {
+
+/// \brief Options modifying RR sampling semantics.
+struct RrOptions {
+  /// Optional per-node pass probability (used by the Com-IC style samplers
+  /// RR-SIM/RR-CIM): a visited node joins the RR set only if an independent
+  /// coin with this probability succeeds; traversal continues only through
+  /// passing nodes. The *root* failing its coin yields an empty RR set
+  /// (which still counts toward the pool size).
+  const std::vector<float>* node_pass_prob = nullptr;
+
+  /// Sample under the Linear Threshold live-edge distribution instead of
+  /// IC: each visited node selects at most ONE in-neighbor (u with
+  /// probability w(u,v), none with 1 − Σ w), so an LT RR set is a reverse
+  /// random walk. Requires Σ_u w(u,v) <= 1 per node.
+  bool linear_threshold = false;
+};
+
+/// \brief A pool of RR sets with deterministic parallel growth.
+class RrCollection {
+ public:
+  RrCollection(const Graph& graph, uint64_t seed, unsigned workers = 0,
+               RrOptions options = {});
+
+  /// Grow the pool until it holds at least `target` RR sets.
+  void GenerateUntil(size_t target);
+
+  size_t size() const { return offsets_.size() - 1; }
+
+  /// Nodes of RR set `r`.
+  std::span<const NodeId> Set(size_t r) const {
+    return {nodes_.data() + offsets_[r], nodes_.data() + offsets_[r + 1]};
+  }
+
+  /// Total Σ_r |R_r| (memory proxy; also the NodeSelection cost).
+  size_t TotalNodes() const { return nodes_.size(); }
+
+  /// Total Σ_r w(R_r): edges examined while sampling (EPT cost model).
+  size_t TotalEdgesExamined() const { return edges_examined_; }
+
+  const Graph& graph() const { return graph_; }
+
+  /// Drop all sets (used by the regeneration fix of PRIMA/IMM: the final
+  /// NodeSelection must run on freshly sampled sets).
+  void Clear();
+
+ private:
+  const Graph& graph_;
+  RrOptions options_;
+  unsigned workers_;
+  std::vector<Rng> streams_;
+
+  std::vector<size_t> offsets_;  // size() + 1
+  std::vector<NodeId> nodes_;
+  size_t edges_examined_ = 0;
+};
+
+/// \brief Single-threaded RR sampler (exposed for tests and custom loops).
+class RrSampler {
+ public:
+  explicit RrSampler(const Graph& graph, RrOptions options = {});
+
+  /// Sample one RR set rooted at a uniformly random node into `out`.
+  /// Returns the number of in-edges examined.
+  size_t SampleInto(Rng& rng, std::vector<NodeId>* out);
+
+  /// Sample one RR set with the given root.
+  size_t SampleRootedInto(NodeId root, Rng& rng, std::vector<NodeId>* out);
+
+ private:
+  const Graph& graph_;
+  RrOptions options_;
+  std::vector<uint32_t> visited_epoch_;
+  uint32_t epoch_ = 0;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace uic

@@ -1,0 +1,73 @@
+#include "rrset/tim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "rrset/node_selection.h"
+
+namespace uic {
+
+ImResult Tim(const Graph& graph, size_t k, double eps, double ell,
+             uint64_t seed, unsigned workers, RrOptions rr_options) {
+  ImResult result;
+  UIC_CHECK_GT(eps, 0.0);
+  UIC_CHECK_GT(ell, 0.0);
+  const double n = static_cast<double>(graph.num_nodes());
+  const double m = static_cast<double>(graph.num_edges());
+  if (graph.num_nodes() < 2 || k == 0) return result;
+  k = std::min<size_t>(k, graph.num_nodes());
+
+  WallTimer timer;
+
+  // --- KPT estimation (TIM Algorithm 2) -------------------------------
+  // For i = 1 .. log2(n) − 1: draw c_i RR sets; if the mean of
+  // κ(R) = 1 − (1 − w(R)/m)^k exceeds 1/2^i, accept KPT = n·mean / 2.
+  RrCollection pool(graph, seed, workers, rr_options);
+  double kpt = 1.0;
+  const double log2n = std::log2(n);
+  const double lambda_kpt =
+      (6.0 * ell * std::log(n) + 6.0 * std::log(log2n)) /* * 2^i below */;
+  RrSampler sampler(graph, rr_options);
+  Rng rng = Rng::Split(seed ^ 0x71a3u, 0);
+  std::vector<NodeId> rr;
+  for (double i = 1.0; i + 1.0 <= log2n; i += 1.0) {
+    const size_t c_i =
+        static_cast<size_t>(std::ceil(lambda_kpt * std::pow(2.0, i)));
+    double sum_kappa = 0.0;
+    for (size_t j = 0; j < c_i; ++j) {
+      const size_t width = sampler.SampleInto(rng, &rr);
+      const double w_frac = m > 0 ? static_cast<double>(width) / m : 0.0;
+      sum_kappa +=
+          1.0 - std::pow(1.0 - std::min(1.0, w_frac), static_cast<double>(k));
+    }
+    const double mean_kappa = sum_kappa / static_cast<double>(c_i);
+    if (mean_kappa > 1.0 / std::pow(2.0, i)) {
+      kpt = n * mean_kappa / 2.0;
+      break;
+    }
+  }
+  kpt = std::max(kpt, 1.0);
+
+  // --- Final sampling with the TIM union-bound constant ----------------
+  const double lambda_tim =
+      (8.0 + 2.0 * eps) * n *
+      (ell * std::log(n) + LogChoose(n, static_cast<double>(k)) +
+       std::log(2.0)) /
+      (eps * eps);
+  const size_t theta = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(lambda_tim / kpt)));
+  RrCollection final_pool(graph, seed ^ 0x7144u, workers, rr_options);
+  final_pool.GenerateUntil(theta);
+
+  SeedSelection sel = NodeSelection(final_pool, k);
+  result.seeds = std::move(sel.seeds);
+  result.coverage = std::move(sel.coverage);
+  result.num_rr_sets = final_pool.size();
+  result.total_rr_nodes = final_pool.TotalNodes();
+  result.sampling_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace uic

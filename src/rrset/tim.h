@@ -1,0 +1,27 @@
+// TIM+ (Tang, Xiao, Shi — SIGMOD'14): the RR-set predecessor of IMM.
+//
+// TIM first estimates KPT — a lower bound on the optimal expected spread
+// OPT_k — by sampling geometrically growing batches of RR sets and
+// testing the statistic κ(R) = 1 − (1 − w(R)/m)^k, then draws
+// θ = λ_TIM / KPT sets with the (looser) union-bound constant
+// λ_TIM = (8 + 2ε) n (ℓ log n + log C(n,k) + log 2) / ε².
+//
+// Provided because (a) the paper's Com-IC baselines RR-SIM+/RR-CIM are
+// TIM-based, which is exactly why they need several times more RR sets
+// than the IMM-based algorithms (Fig. 6), and (b) it makes the IMM/PRIMA
+// sample-complexity improvement directly measurable in this codebase.
+#pragma once
+
+#include <cstdint>
+
+#include "rrset/imm.h"
+
+namespace uic {
+
+/// \brief TIM+ seed selection: k seeds with a (1 − 1/e − ε) guarantee
+/// w.p. >= 1 − 1/n^ℓ, using the original KPT-estimation bound.
+ImResult Tim(const Graph& graph, size_t k, double eps, double ell,
+             uint64_t seed, unsigned workers = 0,
+             RrOptions rr_options = {});
+
+}  // namespace uic

@@ -1,0 +1,135 @@
+#include "welfare/block_accounting.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace uic {
+
+namespace {
+
+/// Remap an itemset over original ids to an itemset over budget ranks.
+ItemSet ToRankMask(ItemSet original, const std::vector<uint32_t>& rank_of) {
+  ItemSet out = 0;
+  ForEachItem(original, [&](ItemId i) { out |= ItemBit(rank_of[i]); });
+  return out;
+}
+
+ItemSet ToOriginalMask(ItemSet ranked, const std::vector<ItemId>& rank_to) {
+  ItemSet out = 0;
+  ForEachItem(ranked, [&](ItemId r) { out |= ItemBit(rank_to[r]); });
+  return out;
+}
+
+}  // namespace
+
+bool PrecedesInBlockOrder(ItemSet a, ItemSet b,
+                          const std::vector<uint32_t>& rank_of_item) {
+  // With items relabeled by budget rank (rank 0 = largest budget = "i1"),
+  // ≺ compares the highest-ranked members first and prefers the exhausted
+  // or lower-indexed side — which is exactly numeric order of the rank
+  // bitmasks.
+  return ToRankMask(a, rank_of_item) < ToRankMask(b, rank_of_item);
+}
+
+BlockDecomposition GenerateBlocks(const UtilityTable& utilities,
+                                  const std::vector<uint32_t>& budgets) {
+  const ItemId k = utilities.num_items();
+  UIC_CHECK_EQ(budgets.size(), k);
+
+  BlockDecomposition decomposition;
+  decomposition.optimal_itemset = utilities.GlobalOptimum();
+  const ItemSet opt = decomposition.optimal_itemset;
+  if (opt == kEmptyItemSet) return decomposition;
+
+  // Budget-rank order over the items of I*: non-increasing budget, ties by
+  // item index (stable, matching the paper's fixed indexing).
+  std::vector<ItemId> items;
+  ForEachItem(opt, [&](ItemId i) { items.push_back(i); });
+  std::stable_sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    return budgets[a] > budgets[b];
+  });
+  decomposition.rank_to_item = items;
+  std::vector<uint32_t> rank_of(k, 0);
+  for (uint32_t r = 0; r < items.size(); ++r) rank_of[items[r]] = r;
+
+  // Scan all non-empty subsets of I* in ≺ order (numeric order over rank
+  // masks). Whenever the first remaining subset with non-negative marginal
+  // utility w.r.t. the chosen union is found, emit it as a block, drop all
+  // overlapping subsets, and restart the scan (Fig. 3 step 3).
+  const ItemSet full_rank = FullItemSet(static_cast<ItemId>(items.size()));
+  ItemSet chosen_union_orig = kEmptyItemSet;  // over original ids
+  ItemSet chosen_union_rank = kEmptyItemSet;  // over rank ids
+  const double base_zero = 0.0;
+  (void)base_zero;
+  while (chosen_union_rank != full_rank) {
+    bool found = false;
+    for (ItemSet cand_rank = 1; cand_rank <= full_rank; ++cand_rank) {
+      if ((cand_rank & chosen_union_rank) != 0) continue;  // overlaps
+      const ItemSet cand_orig = ToOriginalMask(cand_rank, items);
+      const double marginal =
+          utilities.Utility(chosen_union_orig | cand_orig) -
+          utilities.Utility(chosen_union_orig);
+      if (marginal >= 0.0) {
+        decomposition.blocks.push_back(cand_orig);
+        decomposition.deltas.push_back(marginal);
+        chosen_union_rank |= cand_rank;
+        chosen_union_orig |= cand_orig;
+        found = true;
+        break;  // restart scan from the beginning of the remaining sequence
+      }
+    }
+    // Termination: I* is a local maximum, so the remaining items always
+    // include a subset with non-negative marginal utility (at worst, the
+    // whole remainder).
+    UIC_CHECK(found);
+  }
+  UIC_CHECK_EQ(chosen_union_orig, opt);
+
+  // Effective budgets and anchors.
+  const size_t t = decomposition.blocks.size();
+  decomposition.effective_budgets.resize(t);
+  decomposition.anchor_block.resize(t);
+  decomposition.anchor_items.resize(t);
+
+  auto block_budget = [&](size_t bi) {
+    uint32_t mn = UINT32_MAX;
+    ForEachItem(decomposition.blocks[bi],
+                [&](ItemId i) { mn = std::min(mn, budgets[i]); });
+    return mn;
+  };
+  auto block_min_item = [&](size_t bi) {
+    // Highest budget-rank index == minimum-budgeted item of the block.
+    ItemId arg = 0;
+    uint32_t best_rank = 0;
+    bool first = true;
+    ForEachItem(decomposition.blocks[bi], [&](ItemId i) {
+      if (first || rank_of[i] > best_rank) {
+        best_rank = rank_of[i];
+        arg = i;
+        first = false;
+      }
+    });
+    return arg;
+  };
+
+  uint32_t running_min = UINT32_MAX;
+  size_t anchor = 0;
+  uint32_t anchor_budget = UINT32_MAX;
+  for (size_t bi = 0; bi < t; ++bi) {
+    running_min = std::min(running_min, block_budget(bi));
+    decomposition.effective_budgets[bi] = running_min;
+    // Anchor block: among B_1..B_i, the one with minimum block budget;
+    // ties go to the highest block index.
+    if (block_budget(bi) <= anchor_budget) {
+      anchor_budget = block_budget(bi);
+      anchor = bi;
+    }
+    decomposition.anchor_block[bi] = static_cast<uint32_t>(anchor);
+    decomposition.anchor_items[bi] = block_min_item(anchor);
+  }
+  return decomposition;
+}
+
+}  // namespace uic

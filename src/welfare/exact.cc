@@ -1,0 +1,119 @@
+#include "welfare/exact.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "diffusion/uic_model.h"
+
+namespace uic {
+
+namespace {
+
+struct FlatEdge {
+  NodeId from, to;
+  double prob;
+};
+
+std::vector<FlatEdge> FlattenEdges(const Graph& graph) {
+  std::vector<FlatEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.OutNeighbors(u);
+    auto probs = graph.OutProbs(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      edges.push_back({u, nbrs[k], probs[k]});
+    }
+  }
+  return edges;
+}
+
+Graph LiveGraph(NodeId n, const std::vector<FlatEdge>& edges,
+                uint32_t world) {
+  GraphBuilder builder(n);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if ((world >> e) & 1u) builder.AddEdge(edges[e].from, edges[e].to, 1.0);
+  }
+  return builder.Build().MoveValue();
+}
+
+double WorldProbability(const std::vector<FlatEdge>& edges, uint32_t world) {
+  double p = 1.0;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    p *= ((world >> e) & 1u) ? edges[e].prob : 1.0 - edges[e].prob;
+  }
+  return p;
+}
+
+}  // namespace
+
+double ExactSpreadByEnumeration(const Graph& graph,
+                                const std::vector<NodeId>& seeds) {
+  const std::vector<FlatEdge> edges = FlattenEdges(graph);
+  UIC_CHECK_LE(edges.size(), kMaxExactEdges);
+  const NodeId n = graph.num_nodes();
+  double total = 0.0;
+  std::vector<bool> seen(n);
+  std::vector<NodeId> stack;
+  for (uint32_t world = 0; world < (1u << edges.size()); ++world) {
+    const double p = WorldProbability(edges, world);
+    if (p == 0.0) continue;
+    const Graph live = LiveGraph(n, edges, world);
+    std::fill(seen.begin(), seen.end(), false);
+    stack.clear();
+    size_t count = 0;
+    for (NodeId s : seeds) {
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+        ++count;
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : live.OutNeighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+          ++count;
+        }
+      }
+    }
+    total += p * static_cast<double>(count);
+  }
+  return total;
+}
+
+double ExactWelfareByEnumeration(const Graph& graph,
+                                 const Allocation& allocation,
+                                 const UtilityTable& utilities) {
+  const std::vector<FlatEdge> edges = FlattenEdges(graph);
+  UIC_CHECK_LE(edges.size(), kMaxExactEdges);
+  const NodeId n = graph.num_nodes();
+  double total = 0.0;
+  Rng rng(0);  // live graphs have certain edges; entropy is never consumed
+  for (uint32_t world = 0; world < (1u << edges.size()); ++world) {
+    const double p = WorldProbability(edges, world);
+    if (p == 0.0) continue;
+    const Graph live = LiveGraph(n, edges, world);
+    UicSimulator sim(live);
+    total += p * sim.Run(allocation, utilities, rng).welfare;
+  }
+  return total;
+}
+
+double ExactWelfareAveragedOverNoise(const Graph& graph,
+                                     const Allocation& allocation,
+                                     const ItemParams& params,
+                                     size_t noise_samples, uint64_t seed) {
+  UIC_CHECK_GT(noise_samples, size_t{0});
+  Rng rng(seed);
+  double total = 0.0;
+  for (size_t i = 0; i < noise_samples; ++i) {
+    const std::vector<double> noise = params.noise().Sample(rng);
+    const UtilityTable table(params, noise);
+    total += ExactWelfareByEnumeration(graph, allocation, table);
+  }
+  return total / static_cast<double>(noise_samples);
+}
+
+}  // namespace uic

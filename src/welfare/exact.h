@@ -1,0 +1,39 @@
+// Exact (enumeration-based) evaluation on small instances.
+//
+// For graphs with at most ~20 edges, expected spread and expected welfare
+// (for a fixed noise world) can be computed exactly by enumerating all 2^m
+// edge worlds. Tests use this to validate the Monte-Carlo estimators and
+// the block-accounting identities (Lemmas 5 and 7); users can apply it to
+// sanity-check configurations on toy graphs.
+#pragma once
+
+#include <vector>
+
+#include "diffusion/allocation.h"
+#include "graph/graph.h"
+#include "items/utility_table.h"
+
+namespace uic {
+
+/// Maximum number of edges accepted by the exact evaluators (2^m worlds).
+constexpr size_t kMaxExactEdges = 22;
+
+/// \brief Exact expected IC spread σ(S) by edge-world enumeration.
+double ExactSpreadByEnumeration(const Graph& graph,
+                                const std::vector<NodeId>& seeds);
+
+/// \brief Exact expected UIC welfare ρ_{W^N}(𝒮) under the fixed noise
+/// world captured by `utilities`, by edge-world enumeration.
+double ExactWelfareByEnumeration(const Graph& graph,
+                                 const Allocation& allocation,
+                                 const UtilityTable& utilities);
+
+/// \brief Exact expected UIC welfare with the noise integrated out by a
+/// quasi-Monte-Carlo average over `noise_samples` sampled noise worlds
+/// (edge worlds remain exact). Useful to validate EstimateWelfare.
+double ExactWelfareAveragedOverNoise(const Graph& graph,
+                                     const Allocation& allocation,
+                                     const ItemParams& params,
+                                     size_t noise_samples, uint64_t seed);
+
+}  // namespace uic

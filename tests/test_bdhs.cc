@@ -1,0 +1,104 @@
+#include "bdhs/bdhs.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/configs.h"
+#include "graph/generators.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+ItemParams SynergyPair(double u1, double u2, double u12) {
+  const std::vector<double> prices = {1.0, 1.0};
+  auto value = MakeValueFromUtilities(2, prices, {0.0, u1, u2, u12});
+  return ItemParams(std::move(value), prices, NoiseModel::Zero(2));
+}
+
+TEST(BdhsStep, PicksTheBestBundle) {
+  ItemParams params = SynergyPair(-0.5, -0.5, 2.0);
+  Graph g = GenerateErdosRenyi(100, 600, 1);
+  g.ApplyConstantProbability(0.2);
+  const BdhsResult r = BdhsStep(g, params);
+  EXPECT_EQ(r.bundle, 0b11u);
+  EXPECT_GT(r.welfare, 0.0);
+}
+
+TEST(BdhsStep, ZeroWhenNoProfitableBundle) {
+  ItemParams params = SynergyPair(-1.0, -1.0, -0.5);
+  Graph g = GenerateErdosRenyi(100, 600, 2);
+  const BdhsResult r = BdhsStep(g, params);
+  EXPECT_EQ(r.bundle, 0u);
+  EXPECT_DOUBLE_EQ(r.welfare, 0.0);
+}
+
+TEST(BdhsStep, ClosedFormMatchesMonteCarlo) {
+  ItemParams params = SynergyPair(0.2, 0.2, 1.5);
+  Graph g = GenerateErdosRenyi(200, 1200, 3);
+  g.ApplyWeightedCascade();
+  const BdhsResult exact = BdhsStep(g, params, /*kappa=*/0.25);
+  const BdhsResult mc =
+      BdhsStepMonteCarlo(g, params, 0.25, /*num_worlds=*/4000, 4);
+  EXPECT_NEAR(mc.welfare, exact.welfare, 0.02 * exact.welfare + 1.0);
+}
+
+TEST(BdhsStep, KappaOneMakesExternalityIrrelevant) {
+  ItemParams params = SynergyPair(0.0, 0.0, 1.0);
+  Graph g = GenerateErdosRenyi(150, 900, 5);
+  g.ApplyWeightedCascade();
+  const BdhsResult r = BdhsStep(g, params, /*kappa=*/1.0);
+  // factor = 1 everywhere: welfare = n * U(bundle).
+  EXPECT_NEAR(r.welfare, 150.0 * 1.0, 1e-9);
+}
+
+TEST(BdhsStep, IsolatedNodesOnlyGetKappaShare) {
+  // Graph with no edges: every node is isolated.
+  GraphBuilder builder(10);
+  Graph g = builder.Build().MoveValue();
+  ItemParams params = SynergyPair(0.0, 0.0, 1.0);
+  EXPECT_NEAR(BdhsStep(g, params, 0.0).welfare, 0.0, 1e-12);
+  EXPECT_NEAR(BdhsStep(g, params, 0.5).welfare, 5.0, 1e-12);
+}
+
+TEST(BdhsConcave, FactorsDependOnTwoHopSupport) {
+  // Chain 0 -> 1 -> 2: node 2's 2-hop in-support = {0, 1}, node 1's = {0},
+  // node 0's = {}.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  Graph g = builder.Build().MoveValue();
+  ItemParams params = SynergyPair(0.0, 0.0, 1.0);
+  const BdhsResult r = BdhsConcave(g, params, 0.5);
+  // Welfare = 0 + (1 - 0.5^1) + (1 - 0.5^2) = 0.5 + 0.75.
+  EXPECT_NEAR(r.welfare, 1.25, 1e-9);
+}
+
+TEST(BdhsConcave, HigherProbabilityGivesHigherWelfare) {
+  Graph g = GenerateErdosRenyi(200, 1200, 6);
+  ItemParams params = SynergyPair(0.1, 0.1, 1.2);
+  const double lo = BdhsConcave(g, params, 0.01).welfare;
+  const double hi = BdhsConcave(g, params, 0.2).welfare;
+  EXPECT_LT(lo, hi);
+}
+
+TEST(BdhsConcave, WelfareBoundedByFullAssignment) {
+  Graph g = GenerateErdosRenyi(100, 800, 7);
+  ItemParams params = SynergyPair(0.0, 0.0, 2.0);
+  const BdhsResult r = BdhsConcave(g, params, 0.1);
+  EXPECT_LE(r.welfare, 100.0 * 2.0 + 1e-9);
+  EXPECT_GE(r.welfare, 0.0);
+}
+
+TEST(Bdhs, RealParamsBenchmarkIsPositive) {
+  ItemParams params = MakeRealPlaystationParams();
+  Graph g = GenerateErdosRenyi(300, 2400, 8);
+  g.ApplyWeightedCascade();
+  const BdhsResult step = BdhsStep(g, params);
+  // Best bundle is {ps, c, g1, g2, g3} with det utility +7.
+  EXPECT_EQ(step.bundle, FullItemSet(5));
+  EXPECT_GT(step.welfare, 0.0);
+  EXPECT_LE(step.welfare, 300.0 * 7.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace uic

@@ -1,0 +1,218 @@
+#include "welfare/block_accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+/// Three items with an explicit utility table indexed by mask
+/// (i1 = bit 0, i2 = bit 1, i3 = bit 2) and zero prices/noise so the
+/// utility IS the value.
+ItemParams ExplicitUtilities(std::vector<double> utilities) {
+  const ItemId k = 3;
+  const std::vector<double> prices(k, 0.0);
+  auto value =
+      std::make_shared<TabularValueFunction>(k, std::move(utilities));
+  return ItemParams(std::move(value), prices, NoiseModel::Zero(k));
+}
+
+// Example 1: with b1 >= b2 >= b3, the precedence order is
+// {i1}, {i2}, {i1,i2}, {i3}, {i1,i3}, {i2,i3}, {i1,i2,i3}.
+TEST(PrecedenceOrder, MatchesExample1) {
+  const std::vector<uint32_t> rank = {0, 1, 2};  // item i == rank i
+  const std::vector<ItemSet> expected = {
+      0b001, 0b010, 0b011, 0b100, 0b101, 0b110, 0b111};
+  for (size_t a = 0; a < expected.size(); ++a) {
+    for (size_t b = 0; b < expected.size(); ++b) {
+      EXPECT_EQ(PrecedesInBlockOrder(expected[a], expected[b], rank), a < b)
+          << ItemSetToString(expected[a]) << " vs "
+          << ItemSetToString(expected[b]);
+    }
+  }
+}
+
+TEST(PrecedenceOrder, Property1SubsetsPrecedeSupersets) {
+  const std::vector<uint32_t> rank = {0, 1, 2, 3};
+  for (ItemSet s = 1; s < 16; ++s) {
+    ForEachSubset(s, [&](ItemSet t) {
+      if (t == 0 || t == s) return;
+      EXPECT_TRUE(PrecedesInBlockOrder(t, s, rank));
+    });
+  }
+}
+
+TEST(PrecedenceOrder, Property1LowerHighestIndexPrecedes) {
+  const std::vector<uint32_t> rank = {0, 1, 2, 3};
+  // Every set with highest item i2 precedes every set with highest i3.
+  EXPECT_TRUE(PrecedesInBlockOrder(0b011, 0b100, rank));
+  EXPECT_TRUE(PrecedesInBlockOrder(0b011, 0b1100, rank));
+  EXPECT_TRUE(PrecedesInBlockOrder(0b111, 0b1000, rank));
+}
+
+TEST(PrecedenceOrder, RespectsBudgetRankNotItemIndex) {
+  // If item 2 has the largest budget, it plays the role of "i1".
+  const std::vector<uint32_t> rank = {2, 1, 0};  // item2 -> rank 0
+  EXPECT_TRUE(PrecedesInBlockOrder(ItemBit(2), ItemBit(0), rank));
+}
+
+// Example 2: U(i1)=U(i2)=U(i3)=U(i1,i2)=-1, U(i1,i3)=U(i2,i3)=1,
+// U(i1,i2,i3)=4 → blocks B1={i1,i3}, B2={i2}, Δ=(1, 3).
+TEST(BlockGeneration, MatchesExample2) {
+  ItemParams params = ExplicitUtilities(
+      {0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0});
+  const UtilityTable table(params);
+  ASSERT_EQ(table.GlobalOptimum(), 0b111u);
+  const std::vector<uint32_t> budgets = {30, 20, 10};  // b1 > b2 > b3
+  const BlockDecomposition d = GenerateBlocks(table, budgets);
+  ASSERT_EQ(d.num_blocks(), 2u);
+  EXPECT_EQ(d.blocks[0], 0b101u);  // {i1, i3}
+  EXPECT_EQ(d.blocks[1], 0b010u);  // {i2}
+  EXPECT_DOUBLE_EQ(d.deltas[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.deltas[1], 3.0);
+}
+
+// Example 3: effective budget of B2 is b3 (the min over B1 ∪ B2).
+TEST(BlockGeneration, EffectiveBudgetsMatchExample3) {
+  ItemParams params = ExplicitUtilities(
+      {0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0});
+  const UtilityTable table(params);
+  const std::vector<uint32_t> budgets = {30, 20, 10};
+  const BlockDecomposition d = GenerateBlocks(table, budgets);
+  ASSERT_EQ(d.num_blocks(), 2u);
+  EXPECT_EQ(d.effective_budgets[0], 10u);  // B1 contains i3
+  EXPECT_EQ(d.effective_budgets[1], 10u);
+}
+
+// Example 4: both blocks anchor at B1; the anchor item is i3.
+TEST(BlockGeneration, AnchorsMatchExample4) {
+  ItemParams params = ExplicitUtilities(
+      {0.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 4.0});
+  const UtilityTable table(params);
+  const std::vector<uint32_t> budgets = {30, 20, 10};
+  const BlockDecomposition d = GenerateBlocks(table, budgets);
+  ASSERT_EQ(d.num_blocks(), 2u);
+  EXPECT_EQ(d.anchor_block[0], 0u);
+  EXPECT_EQ(d.anchor_block[1], 0u);
+  EXPECT_EQ(d.anchor_items[0], 2u);  // i3 (item index 2)
+  EXPECT_EQ(d.anchor_items[1], 2u);
+}
+
+TEST(BlockGeneration, EmptyWhenNothingProfitable) {
+  ItemParams params = ExplicitUtilities(
+      {0.0, -1.0, -1.0, -1.5, -1.0, -1.5, -1.5, -2.0});
+  const UtilityTable table(params);
+  const BlockDecomposition d = GenerateBlocks(table, {5, 5, 5});
+  EXPECT_EQ(d.optimal_itemset, 0u);
+  EXPECT_EQ(d.num_blocks(), 0u);
+}
+
+TEST(BlockGeneration, ItemsOutsideOptimumAreExcluded) {
+  // i3 is pure poison: I* = {i1, i2}.
+  ItemParams params = ExplicitUtilities(
+      {0.0, 1.0, 1.0, 3.0, -10.0, -9.5, -9.5, -8.0});
+  const UtilityTable table(params);
+  const BlockDecomposition d = GenerateBlocks(table, {5, 5, 5});
+  EXPECT_EQ(d.optimal_itemset, 0b011u);
+  ItemSet all = 0;
+  for (ItemSet b : d.blocks) all |= b;
+  EXPECT_EQ(all, 0b011u);
+}
+
+// Property tests over random supermodular utility worlds.
+class BlockPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockPropertyTest, BlocksPartitionOptimumWithNonNegativeDeltas) {
+  Rng rng(GetParam());
+  const ItemId k = 5;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 1.0);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  std::vector<uint32_t> budgets(k);
+  for (auto& b : budgets) b = 1 + static_cast<uint32_t>(rng.NextBounded(50));
+  const BlockDecomposition d = GenerateBlocks(table, budgets);
+
+  // Partition of I*.
+  ItemSet unioned = 0;
+  for (size_t i = 0; i < d.num_blocks(); ++i) {
+    EXPECT_EQ(unioned & d.blocks[i], 0u) << "blocks overlap";
+    unioned |= d.blocks[i];
+  }
+  EXPECT_EQ(unioned, d.optimal_itemset);
+
+  // Property 2: Δi >= 0 and Σ Δi = U(I*).
+  double sum = 0.0;
+  for (size_t i = 0; i < d.num_blocks(); ++i) {
+    EXPECT_GE(d.deltas[i], 0.0);
+    // Δi really is the marginal utility of the block.
+    EXPECT_NEAR(d.deltas[i],
+                table.Utility(d.PrefixUnion(i + 1)) -
+                    table.Utility(d.PrefixUnion(i)),
+                1e-9);
+    sum += d.deltas[i];
+  }
+  EXPECT_NEAR(sum, table.Utility(d.optimal_itemset), 1e-9);
+
+  // Effective budgets are non-increasing and match min over prefix.
+  for (size_t i = 0; i < d.num_blocks(); ++i) {
+    uint32_t mn = UINT32_MAX;
+    ForEachItem(d.PrefixUnion(i + 1),
+                [&](ItemId it) { mn = std::min(mn, budgets[it]); });
+    EXPECT_EQ(d.effective_budgets[i], mn);
+    if (i > 0) {
+      EXPECT_LE(d.effective_budgets[i], d.effective_budgets[i - 1]);
+    }
+  }
+
+  // Anchor item budget equals the effective budget (by definition).
+  for (size_t i = 0; i < d.num_blocks(); ++i) {
+    EXPECT_EQ(budgets[d.anchor_items[i]], d.effective_budgets[i]);
+    EXPECT_LE(d.anchor_block[i], i);
+  }
+}
+
+// Property 3: for any subset A ⊆ I*, Δ^A_i <= Δ_i.
+TEST_P(BlockPropertyTest, PartialBlockMarginalsAreDominated) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  const ItemId k = 4;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 1.0);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  std::vector<uint32_t> budgets(k);
+  for (auto& b : budgets) b = 1 + static_cast<uint32_t>(rng.NextBounded(20));
+  const BlockDecomposition d = GenerateBlocks(table, budgets);
+  if (d.num_blocks() == 0) return;
+
+  ForEachSubset(d.optimal_itemset, [&](ItemSet a) {
+    double sum = 0.0;
+    ItemSet prefix_a = 0;
+    for (size_t i = 0; i < d.num_blocks(); ++i) {
+      const ItemSet ai = a & d.blocks[i];
+      const double delta_a =
+          table.Utility(prefix_a | ai) - table.Utility(prefix_a);
+      EXPECT_LE(delta_a, d.deltas[i] + 1e-9);
+      prefix_a |= ai;
+      sum += delta_a;
+    }
+    // The per-block marginals of A telescope to U(A).
+    EXPECT_NEAR(sum, table.Utility(a), 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace uic

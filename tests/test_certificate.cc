@@ -1,0 +1,78 @@
+#include "rrset/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/ic_model.h"
+#include "graph/generators.h"
+#include "rrset/imm.h"
+
+namespace uic {
+namespace {
+
+TEST(Certificate, BoundsBracketTheTruthOnStarGraph) {
+  // Star hub with certain edges: σ({hub}) = n = OPT_1.
+  const NodeId n = 40;
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.AddEdge(0, v, 1.0);
+  Graph g = builder.Build().MoveValue();
+  const SpreadCertificate cert = CertifySeedSet(g, {0}, 20000, 0.01, 1);
+  EXPECT_LE(cert.spread_lower, 40.0 + 1e-9);
+  EXPECT_GE(cert.opt_upper, cert.spread_lower);
+  EXPECT_GT(cert.ratio, 0.9);  // hub IS optimal; certificate ~1
+}
+
+TEST(Certificate, LowerBoundIsBelowTrueSpread) {
+  Graph g = GenerateErdosRenyi(200, 1200, 2);
+  g.ApplyWeightedCascade();
+  const ImResult imm = Imm(g, 5, 0.5, 1.0, 3);
+  const std::vector<NodeId> seeds(imm.seeds.begin(), imm.seeds.begin() + 5);
+  const SpreadCertificate cert = CertifySeedSet(g, seeds, 30000, 0.01, 4);
+  const double truth = EstimateSpread(g, seeds, 50000, 5, 4);
+  EXPECT_LE(cert.spread_lower, truth * 1.02 + 0.5);
+  EXPECT_GT(cert.spread_lower, 0.0);
+}
+
+TEST(Certificate, GoodSeedsEarnHighRatio) {
+  Graph g = GenerateErdosRenyi(300, 1800, 6);
+  g.ApplyWeightedCascade();
+  const ImResult imm = Imm(g, 10, 0.3, 1.0, 7);
+  const std::vector<NodeId> seeds(imm.seeds.begin(), imm.seeds.begin() + 10);
+  const SpreadCertificate good = CertifySeedSet(g, seeds, 50000, 0.01, 8);
+  // IMM seeds typically certify far above the worst case 1-1/e-ε.
+  EXPECT_GT(good.ratio, 0.5);
+
+  // Arbitrary low-degree seeds certify worse than IMM seeds.
+  std::vector<NodeId> bad;
+  for (NodeId v = 0; bad.size() < 10 && v < g.num_nodes(); ++v) {
+    if (g.OutDegree(v) == 0) bad.push_back(v);
+  }
+  if (bad.size() == 10) {
+    const SpreadCertificate poor = CertifySeedSet(g, bad, 50000, 0.01, 8);
+    EXPECT_LT(poor.ratio, good.ratio);
+  }
+}
+
+TEST(Certificate, RatioNeverExceedsOne) {
+  Graph g = GenerateErdosRenyi(100, 500, 9);
+  g.ApplyWeightedCascade();
+  const SpreadCertificate cert = CertifySeedSet(g, {0, 1, 2}, 20000, 0.05,
+                                                10);
+  EXPECT_LE(cert.ratio, 1.0);
+  EXPECT_GE(cert.ratio, 0.0);
+}
+
+TEST(Certificate, WorksUnderLinearThreshold) {
+  Graph g = GenerateErdosRenyi(150, 900, 11);
+  g.ApplyWeightedCascade();
+  RrOptions lt;
+  lt.linear_threshold = true;
+  const ImResult imm = Imm(g, 5, 0.5, 1.0, 12, 0, {}, lt);
+  const std::vector<NodeId> seeds(imm.seeds.begin(), imm.seeds.begin() + 5);
+  const SpreadCertificate cert =
+      CertifySeedSet(g, seeds, 30000, 0.01, 13, 0, lt);
+  EXPECT_GT(cert.spread_lower, 0.0);
+  EXPECT_GT(cert.ratio, 0.3);
+}
+
+}  // namespace
+}  // namespace uic

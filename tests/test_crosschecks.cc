@@ -1,0 +1,241 @@
+// Brute-force reference implementations crosschecking the optimized
+// library code paths:
+//   * the block-generation process of Fig. 3, transcribed literally with
+//     an explicitly sorted subset sequence (vs. the numeric-order trick
+//     in welfare/block_accounting.cc);
+//   * the adoption rule, as a plain argmax scan (vs. the submask
+//     enumeration with tie-union in UtilityTable::BestAdoption);
+//   * graph statistics against hand-computable instances;
+//   * allocation serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/serialization.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "items/supermodular_generators.h"
+#include "welfare/block_accounting.h"
+
+namespace uic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Literal transcription of §4.2.2.1's precedence order ≺ : compare the
+// items of S and S' from the highest budget-rank index downward.
+// ---------------------------------------------------------------------------
+bool LiteralPrecedes(ItemSet s, ItemSet t,
+                     const std::vector<uint32_t>& rank_of) {
+  auto ranks_desc = [&](ItemSet set) {
+    std::vector<uint32_t> r;
+    ForEachItem(set, [&](ItemId i) { r.push_back(rank_of[i]); });
+    std::sort(r.rbegin(), r.rend());
+    return r;
+  };
+  const std::vector<uint32_t> a = ranks_desc(s);
+  const std::vector<uint32_t> b = ranks_desc(t);
+  for (size_t i = 0;; ++i) {
+    if (i == a.size() && i == b.size()) return false;  // equal sets
+    if (i == a.size()) return true;   // rule 1: S exhausts first
+    if (i == b.size()) return false;  // rule 1: S' exhausts first
+    if (a[i] != b[i]) return a[i] < b[i];  // rule 2
+  }
+}
+
+/// Literal transcription of the Fig. 3 block generation loop.
+std::vector<ItemSet> LiteralBlocks(const UtilityTable& table,
+                                   const std::vector<uint32_t>& budgets) {
+  const ItemSet opt = table.GlobalOptimum();
+  if (opt == 0) return {};
+  // Budget-rank order over items of I*.
+  std::vector<ItemId> items;
+  ForEachItem(opt, [&](ItemId i) { items.push_back(i); });
+  std::stable_sort(items.begin(), items.end(),
+                   [&](ItemId a, ItemId b) { return budgets[a] > budgets[b]; });
+  std::vector<uint32_t> rank_of(budgets.size(), 0);
+  for (uint32_t r = 0; r < items.size(); ++r) rank_of[items[r]] = r;
+
+  // Step 2: all non-empty subsets of I*, sorted by ≺.
+  std::vector<ItemSet> sequence;
+  ForEachSubset(opt, [&](ItemSet s) {
+    if (s != 0) sequence.push_back(s);
+  });
+  std::sort(sequence.begin(), sequence.end(), [&](ItemSet a, ItemSet b) {
+    return LiteralPrecedes(a, b, rank_of);
+  });
+
+  // Step 3: scan, select, remove overlaps, restart.
+  std::vector<ItemSet> blocks;
+  ItemSet chosen = 0;
+  while (chosen != opt) {
+    bool found = false;
+    for (ItemSet b : sequence) {
+      if ((b & chosen) != 0) continue;
+      if (table.Utility(chosen | b) - table.Utility(chosen) >= 0.0) {
+        blocks.push_back(b);
+        chosen |= b;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+  }
+  return blocks;
+}
+
+class BlockCrosscheckTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockCrosscheckTest, OptimizedBlocksMatchLiteralTranscription) {
+  Rng rng(GetParam());
+  const ItemId k = 5;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 1.0);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  std::vector<uint32_t> budgets(k);
+  for (auto& b : budgets) b = 1 + static_cast<uint32_t>(rng.NextBounded(40));
+
+  const BlockDecomposition fast = GenerateBlocks(table, budgets);
+  const std::vector<ItemSet> literal = LiteralBlocks(table, budgets);
+  ASSERT_EQ(fast.blocks.size(), literal.size()) << "seed " << GetParam();
+  for (size_t i = 0; i < literal.size(); ++i) {
+    EXPECT_EQ(fast.blocks[i], literal[i])
+        << "block " << i << " seed " << GetParam();
+  }
+}
+
+// Brute-force adoption: scan ALL subsets and apply the tie rules directly.
+TEST_P(BlockCrosscheckTest, BestAdoptionMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0x1234);
+  const ItemId k = 5;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 1.0);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  const ItemSet full = FullItemSet(k);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ItemSet desire = static_cast<ItemSet>(rng.NextBounded(full + 1));
+    // A valid current adoption: the best adoption of some sub-desire.
+    const ItemSet adopted =
+        table.BestAdoption(0, static_cast<ItemSet>(desire & rng.NextU32()));
+    if (!IsSubset(adopted, desire)) continue;
+
+    double best_util = -1e300;
+    ForEachSubset(desire & ~adopted, [&](ItemSet extra) {
+      best_util = std::max(best_util, table.Utility(adopted | extra));
+    });
+    const ItemSet got = table.BestAdoption(adopted, desire);
+    // Achieves the max utility…
+    EXPECT_NEAR(table.Utility(got), best_util, 1e-9);
+    // …and no strictly larger achiever exists (maximal tie-break).
+    ForEachSubset(desire & ~adopted, [&](ItemSet extra) {
+      const ItemSet cand = adopted | extra;
+      if (std::abs(table.Utility(cand) - best_util) < 1e-9) {
+        EXPECT_LE(Cardinality(cand), Cardinality(got));
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockCrosscheckTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+// ---------------------------------------------------------------------------
+// Graph statistics.
+// ---------------------------------------------------------------------------
+TEST(GraphStats, HandComputableChain) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  b.AddEdge(2, 3, 0.5);
+  const GraphStats s = ComputeGraphStats(b.Build().MoveValue());
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.num_sources, 1u);
+  EXPECT_EQ(s.num_sinks, 1u);
+  EXPECT_EQ(s.largest_wcc, 4u);
+}
+
+TEST(GraphStats, DisconnectedComponents) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(3, 4, 0.5);
+  const GraphStats s = ComputeGraphStats(b.Build().MoveValue());
+  EXPECT_EQ(s.largest_wcc, 2u);
+}
+
+TEST(GraphStats, GiniZeroForRegularGraph) {
+  // Ring: every node has in-degree 1.
+  GraphBuilder b(6);
+  for (NodeId v = 0; v < 6; ++v) b.AddEdge(v, (v + 1) % 6, 0.5);
+  const GraphStats s = ComputeGraphStats(b.Build().MoveValue());
+  EXPECT_NEAR(s.gini_in_degree, 0.0, 1e-9);
+}
+
+TEST(GraphStats, PreferentialAttachmentIsUnequal) {
+  Graph g = GeneratePreferentialAttachment(2000, 4, false, 7);
+  const GraphStats s = ComputeGraphStats(g);
+  EXPECT_GT(s.gini_in_degree, 0.3);  // heavy-tailed
+  EXPECT_EQ(s.largest_wcc, 2000u);   // PA graphs are connected
+}
+
+TEST(GraphStats, LogHistogramBucketsCorrectly) {
+  GraphBuilder b(4);
+  // in-degrees: 0, 1, 2, 0 -> buckets [0]:2, [1]:1, [2,3]:1.
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  const auto hist = InDegreeLogHistogram(b.Build().MoveValue());
+  ASSERT_GE(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation serialization.
+// ---------------------------------------------------------------------------
+TEST(Serialization, RoundTripsAllocation) {
+  Allocation a;
+  a.Add(7, 0b101);
+  a.Add(42, 0b1);
+  a.Add(0, 0b11111);
+  const std::string path = "/tmp/uic_test_alloc.csv";
+  ASSERT_TRUE(SaveAllocation(a, path).ok());
+  auto loaded = LoadAllocation(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().entries(), a.entries());
+}
+
+TEST(Serialization, RejectsMalformedRows) {
+  const std::string path = "/tmp/uic_test_alloc_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "7;0x5\n";
+  }
+  EXPECT_FALSE(LoadAllocation(path).ok());
+  {
+    std::ofstream out(path);
+    out << "7,\n";
+  }
+  EXPECT_FALSE(LoadAllocation(path).ok());
+}
+
+TEST(Serialization, MissingFileIsIOError) {
+  auto r = LoadAllocation("/tmp/definitely_missing_uic_alloc.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace uic

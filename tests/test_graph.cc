@@ -1,0 +1,219 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/loaders.h"
+#include "graph/subgraph.h"
+
+namespace uic {
+namespace {
+
+TEST(GraphBuilder, BuildsCsrBothDirections) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(0, 2, 0.25);
+  builder.AddEdge(2, 1, 1.0);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result.value();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g.OutNeighbors(0)[1], 2u);
+  EXPECT_FLOAT_EQ(g.OutProbs(0)[0], 0.5f);
+  EXPECT_EQ(g.InNeighbors(1).size(), 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+}
+
+TEST(GraphBuilder, IgnoresSelfLoopsAndDeduplicates) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 1, 0.9);
+  builder.AddEdge(0, 1, 0.2);
+  builder.AddEdge(0, 1, 0.7);  // duplicate: max prob wins
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 1u);
+  EXPECT_FLOAT_EQ(result.value().OutProbs(0)[0], 0.7f);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoint) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Graph, WeightedCascadeAssignsInverseInDegree) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(0, 1);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  Graph g = result.MoveValue();
+  g.ApplyWeightedCascade();
+  for (float p : g.InProbs(3)) EXPECT_FLOAT_EQ(p, 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(g.InProbs(1)[0], 1.0f);
+  // Forward mirror agrees.
+  EXPECT_FLOAT_EQ(g.OutProbs(1)[0], 1.0f / 3.0f);  // edge (1,3)
+}
+
+TEST(Graph, ConstantProbability) {
+  Graph g = GenerateErdosRenyi(50, 200, 1);
+  g.ApplyConstantProbability(0.01);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (float p : g.OutProbs(v)) EXPECT_FLOAT_EQ(p, 0.01f);
+  }
+}
+
+TEST(Graph, TrivalencyConsistentAcrossDirections) {
+  Graph g = GenerateErdosRenyi(60, 300, 2);
+  g.ApplyTrivalency({0.1, 0.01, 0.001}, 77);
+  // Forward and reverse arrays must agree per edge.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto in = g.InNeighbors(v);
+    auto in_p = g.InProbs(v);
+    for (size_t k = 0; k < in.size(); ++k) {
+      const NodeId u = in[k];
+      auto out = g.OutNeighbors(u);
+      auto out_p = g.OutProbs(u);
+      bool found = false;
+      for (size_t j = 0; j < out.size(); ++j) {
+        if (out[j] == v) {
+          EXPECT_FLOAT_EQ(out_p[j], in_p[k]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Generators, ErdosRenyiHasRequestedEdges) {
+  Graph g = GenerateErdosRenyi(100, 500, 3);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(Generators, PreferentialAttachmentUndirectedIsSymmetric) {
+  Graph g = GeneratePreferentialAttachment(500, 3, /*undirected=*/true, 4);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.OutDegree(u), g.InDegree(u));
+  }
+}
+
+TEST(Generators, PreferentialAttachmentIsHeavyTailed) {
+  Graph g = GeneratePreferentialAttachment(2000, 4, /*undirected=*/false, 5);
+  uint32_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // The hubs should far exceed the average in-degree.
+  EXPECT_GT(max_in, 10 * g.AverageDegree());
+}
+
+TEST(Generators, GridHasExpectedStructure) {
+  Graph g = GenerateGrid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // Interior node (1,1) = id 5 has 4 undirected neighbors.
+  EXPECT_EQ(g.OutDegree(5), 4u);
+  EXPECT_EQ(g.InDegree(5), 4u);
+}
+
+TEST(Generators, LayeredDagIsAcyclicByConstruction) {
+  Graph g = GenerateLayeredDag(3, 2, 1.0);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 8u);  // 2 layers of 2x2 complete bipartite
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(5), 0u);
+}
+
+TEST(Loaders, ParsesEdgeListWithCommentsAndProbs) {
+  const std::string text =
+      "# a comment\n"
+      "0 1 0.5\n"
+      "1 2 0.25\n"
+      "% another comment\n"
+      "2 0 1.0\n";
+  EdgeListOptions options;
+  options.read_probability = true;
+  auto result = ParseEdgeList(text, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 3u);
+  EXPECT_EQ(result.value().num_edges(), 3u);
+  EXPECT_FLOAT_EQ(result.value().OutProbs(0)[0], 0.5f);
+}
+
+TEST(Loaders, RemapsSparseIds) {
+  auto result = ParseEdgeList("1000 2000\n2000 3000\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 3u);
+}
+
+TEST(Loaders, UndirectedAddsBothDirections) {
+  EdgeListOptions options;
+  options.undirected = true;
+  auto result = ParseEdgeList("0 1\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 2u);
+}
+
+TEST(Loaders, RejectsMalformedLine) {
+  auto result = ParseEdgeList("0 x\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Loaders, RejectsOutOfRangeProbability) {
+  EdgeListOptions options;
+  options.read_probability = true;
+  auto result = ParseEdgeList("0 1 1.5\n", options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Loaders, RoundTripsThroughSaveAndLoad) {
+  Graph g = GenerateErdosRenyi(40, 100, 6);
+  g.ApplyWeightedCascade();
+  const std::string path = "/tmp/uic_test_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  EdgeListOptions options;
+  options.read_probability = true;
+  options.remap_ids = false;
+  auto loaded = LoadEdgeList(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+}
+
+TEST(Subgraph, BfsInducedSubgraphKeepsInternalEdges) {
+  Graph g = GenerateGrid(5, 5);
+  Graph sub = BfsInducedSubgraph(g, 0, 10);
+  EXPECT_EQ(sub.num_nodes(), 10u);
+  EXPECT_GT(sub.num_edges(), 0u);
+}
+
+TEST(Subgraph, FullBfsSubgraphEqualsOriginalSize) {
+  Graph g = GenerateErdosRenyi(80, 400, 7);
+  Graph sub = BfsInducedSubgraph(g, 0, 1000);  // clamped to n
+  EXPECT_EQ(sub.num_nodes(), g.num_nodes());
+  EXPECT_EQ(sub.num_edges(), g.num_edges());
+}
+
+TEST(Subgraph, InducedSubgraphRespectsNodeList) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  builder.AddEdge(2, 3, 0.5);
+  Graph g = builder.Build().MoveValue();
+  Graph sub = InducedSubgraph(g, {1, 2});
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only (1,2) survives
+}
+
+}  // namespace
+}  // namespace uic

@@ -1,0 +1,92 @@
+#include "diffusion/ic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace uic {
+namespace {
+
+Graph Chain(int n, double p) {
+  GraphBuilder builder(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.AddEdge(i, i + 1, p);
+  }
+  return builder.Build().MoveValue();
+}
+
+TEST(IcSimulator, CertainEdgesActivateEverythingReachable) {
+  Graph g = Chain(6, 1.0);
+  IcSimulator sim(g);
+  Rng rng(1);
+  EXPECT_EQ(sim.RunOnce({0}, rng), 6u);
+  EXPECT_EQ(sim.RunOnce({3}, rng), 3u);  // 3,4,5
+}
+
+TEST(IcSimulator, BlockedEdgesActivateOnlySeeds) {
+  Graph g = Chain(6, 0.0);
+  IcSimulator sim(g);
+  Rng rng(2);
+  EXPECT_EQ(sim.RunOnce({0, 2}, rng), 2u);
+}
+
+TEST(IcSimulator, DuplicateSeedsCountOnce) {
+  Graph g = Chain(4, 0.0);
+  IcSimulator sim(g);
+  Rng rng(3);
+  EXPECT_EQ(sim.RunOnce({1, 1, 1}, rng), 1u);
+}
+
+TEST(IcSimulator, CollectsActivatedNodes) {
+  Graph g = Chain(4, 1.0);
+  IcSimulator sim(g);
+  Rng rng(4);
+  std::vector<NodeId> activated;
+  sim.RunOnce({1}, rng, &activated);
+  EXPECT_EQ(activated.size(), 3u);  // 1, 2, 3
+}
+
+TEST(EstimateSpread, MatchesClosedFormOnTwoNodeGraph) {
+  // Single edge with p = 0.3: σ({0}) = 1 + 0.3.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.3);
+  Graph g = builder.Build().MoveValue();
+  const double spread = EstimateSpread(g, {0}, 200000, 42, 4);
+  EXPECT_NEAR(spread, 1.3, 0.01);
+}
+
+TEST(EstimateSpread, MatchesClosedFormOnFork) {
+  // 0 -> 1 (0.5), 0 -> 2 (0.5): σ({0}) = 1 + 0.5 + 0.5 = 2.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 0.5);
+  builder.AddEdge(0, 2, 0.5);
+  Graph g = builder.Build().MoveValue();
+  const double spread = EstimateSpread(g, {0}, 200000, 43, 4);
+  EXPECT_NEAR(spread, 2.0, 0.02);
+}
+
+TEST(EstimateSpread, TwoHopPathCompounds) {
+  // 0 ->(0.5) 1 ->(0.5) 2: σ({0}) = 1 + 0.5 + 0.25.
+  Graph g = Chain(3, 0.5);
+  const double spread = EstimateSpread(g, {0}, 200000, 44, 4);
+  EXPECT_NEAR(spread, 1.75, 0.02);
+}
+
+TEST(EstimateSpread, DeterministicForFixedSeedAndWorkers) {
+  Graph g = GenerateErdosRenyi(200, 1000, 9);
+  g.ApplyWeightedCascade();
+  const double a = EstimateSpread(g, {1, 2, 3}, 5000, 7, 4);
+  const double b = EstimateSpread(g, {1, 2, 3}, 5000, 7, 4);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(EstimateSpread, MonotoneInSeeds) {
+  Graph g = GenerateErdosRenyi(300, 2400, 10);
+  g.ApplyWeightedCascade();
+  const double s1 = EstimateSpread(g, {1}, 20000, 11, 4);
+  const double s2 = EstimateSpread(g, {1, 2, 3, 4}, 20000, 11, 4);
+  EXPECT_LE(s1, s2 + 0.05);
+}
+
+}  // namespace
+}  // namespace uic

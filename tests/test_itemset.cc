@@ -1,0 +1,69 @@
+#include "items/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace uic {
+namespace {
+
+TEST(ItemSet, BitHelpers) {
+  EXPECT_EQ(ItemBit(0), 1u);
+  EXPECT_EQ(ItemBit(3), 8u);
+  EXPECT_EQ(FullItemSet(3), 7u);
+  EXPECT_TRUE(Contains(0b101, 0));
+  EXPECT_FALSE(Contains(0b101, 1));
+  EXPECT_TRUE(Contains(0b101, 2));
+}
+
+TEST(ItemSet, SubsetRelation) {
+  EXPECT_TRUE(IsSubset(0b001, 0b011));
+  EXPECT_TRUE(IsSubset(0b011, 0b011));
+  EXPECT_TRUE(IsSubset(0, 0b011));
+  EXPECT_FALSE(IsSubset(0b100, 0b011));
+}
+
+TEST(ItemSet, CardinalityAndExtremes) {
+  EXPECT_EQ(Cardinality(0), 0u);
+  EXPECT_EQ(Cardinality(0b1011), 3u);
+  EXPECT_EQ(LowestItem(0b1010), 1u);
+  EXPECT_EQ(HighestItem(0b1010), 3u);
+  EXPECT_EQ(LowestItem(0b1), 0u);
+  EXPECT_EQ(HighestItem(0b1), 0u);
+}
+
+TEST(ItemSet, ForEachSubsetEnumeratesAll) {
+  std::set<ItemSet> seen;
+  ForEachSubset(0b101, [&](ItemSet s) { seen.insert(s); });
+  EXPECT_EQ(seen, (std::set<ItemSet>{0, 0b001, 0b100, 0b101}));
+}
+
+TEST(ItemSet, ForEachSubsetOfEmptyIsJustEmpty) {
+  int count = 0;
+  ForEachSubset(0, [&](ItemSet s) {
+    EXPECT_EQ(s, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ItemSet, ForEachSubsetCountIsPowerOfTwo) {
+  int count = 0;
+  ForEachSubset(0b11011, [&](ItemSet) { ++count; });
+  EXPECT_EQ(count, 16);  // 2^4 subsets
+}
+
+TEST(ItemSet, ForEachItemAscending) {
+  std::vector<ItemId> items;
+  ForEachItem(0b10110, [&](ItemId i) { items.push_back(i); });
+  EXPECT_EQ(items, (std::vector<ItemId>{1, 2, 4}));
+}
+
+TEST(ItemSet, ToStringRendersItems) {
+  EXPECT_EQ(ItemSetToString(0), "{}");
+  EXPECT_EQ(ItemSetToString(0b101), "{i0,i2}");
+}
+
+}  // namespace
+}  // namespace uic

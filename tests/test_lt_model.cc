@@ -1,0 +1,175 @@
+#include "diffusion/lt_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bundle_grd.h"
+#include "exp/configs.h"
+#include "graph/generators.h"
+#include "items/supermodular_generators.h"
+#include "rrset/rr_collection.h"
+
+namespace uic {
+namespace {
+
+Graph Chain(int n, double w) {
+  GraphBuilder builder(n);
+  for (int i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1, w);
+  return builder.Build().MoveValue();
+}
+
+TEST(LtSimulator, WeightOneChainActivatesEverything) {
+  Graph g = Chain(6, 1.0);
+  LtSimulator sim(g);
+  Rng rng(1);
+  EXPECT_EQ(sim.RunOnce({0}, rng), 6u);
+}
+
+TEST(LtSimulator, WeightZeroChainActivatesOnlySeeds) {
+  Graph g = Chain(6, 0.0);
+  LtSimulator sim(g);
+  Rng rng(2);
+  EXPECT_EQ(sim.RunOnce({0, 3}, rng), 2u);
+}
+
+TEST(LtSimulator, ActivationProbabilityEqualsEdgeWeight) {
+  // Single edge 0 -> 1 with weight 0.4: E[spread({0})] = 1.4.
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 0.4);
+  Graph g = builder.Build().MoveValue();
+  const double spread = EstimateSpreadLt(g, {0}, 200000, 3, 4);
+  EXPECT_NEAR(spread, 1.4, 0.01);
+}
+
+TEST(LtSimulator, AtMostOneLiveInEdgePerNode) {
+  // v has two in-neighbors with weights 0.5 each; only ONE can ever be
+  // live (weights sum to 1). Seeding both sources: v always activates;
+  // seeding one source: v activates with prob exactly 0.5, NOT 0.75 (the
+  // IC value) — the discriminating test between LT and IC.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  Graph g = builder.Build().MoveValue();
+  const double both = EstimateSpreadLt(g, {0, 1}, 100000, 4, 4);
+  EXPECT_NEAR(both, 3.0, 0.01);
+  const double one = EstimateSpreadLt(g, {0}, 200000, 5, 4);
+  EXPECT_NEAR(one, 1.5, 0.01);
+}
+
+TEST(UicLtSimulator, BundlePropagatesAlongLivePath) {
+  Graph g = Chain(4, 1.0);
+  ItemParams params = MakeTwoItemConfig12();
+  const UtilityTable table(params);  // zero noise: only the pair pays
+  UicLtSimulator sim(g);
+  Rng rng(6);
+  Allocation alloc;
+  alloc.Add(0, 0b11);
+  const UicOutcome out = sim.Run(alloc, table, rng);
+  EXPECT_DOUBLE_EQ(out.welfare, 4.0);  // all 4 nodes adopt the +1 pair
+  EXPECT_EQ(out.num_adopters, 4u);
+}
+
+TEST(UicLtSimulator, RationalAdoptionStillHolds) {
+  Graph g = Chain(3, 1.0);
+  // Negative-alone items: seeding only one item yields nothing.
+  const std::vector<double> prices = {1.0, 1.0};
+  auto value = MakeValueFromUtilities(2, prices, {0.0, -0.5, -0.5, 1.0});
+  ItemParams params(std::move(value), prices, NoiseModel::Zero(2));
+  const UtilityTable table(params);
+  UicLtSimulator sim(g);
+  Rng rng(7);
+  Allocation alloc;
+  alloc.AddItem(0, 0);
+  EXPECT_DOUBLE_EQ(sim.Run(alloc, table, rng).welfare, 0.0);
+  Allocation bundled;
+  bundled.Add(0, 0b11);
+  EXPECT_DOUBLE_EQ(sim.Run(bundled, table, rng).welfare, 3.0);
+}
+
+TEST(EstimateWelfareLt, DeterministicAndPositiveUnderSynergy) {
+  Graph g = GenerateErdosRenyi(300, 1800, 8);
+  g.ApplyWeightedCascade();
+  ItemParams params = MakeTwoItemConfig12();
+  Allocation alloc;
+  for (NodeId v = 0; v < 15; ++v) alloc.Add(v, 0b11);
+  const WelfareEstimate a = EstimateWelfareLt(g, alloc, params, 300, 9, 4);
+  const WelfareEstimate b = EstimateWelfareLt(g, alloc, params, 300, 9, 4);
+  EXPECT_DOUBLE_EQ(a.welfare, b.welfare);
+  EXPECT_GT(a.welfare, 0.0);
+}
+
+TEST(LtRrSampling, ReverseWalkOnChain) {
+  Graph g = Chain(5, 1.0);
+  RrOptions options;
+  options.linear_threshold = true;
+  RrSampler sampler(g, options);
+  Rng rng(10);
+  std::vector<NodeId> rr;
+  sampler.SampleRootedInto(4, rng, &rr);
+  // Weight-1 chain: the walk always climbs to the source.
+  EXPECT_EQ(rr.size(), 5u);
+}
+
+TEST(LtRrSampling, WalkPicksOneBranch) {
+  // Node 2 has two in-neighbors at weight 0.5: an LT RR set rooted at 2
+  // contains exactly one of them (never both).
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2, 0.5);
+  builder.AddEdge(1, 2, 0.5);
+  Graph g = builder.Build().MoveValue();
+  RrOptions options;
+  options.linear_threshold = true;
+  RrSampler sampler(g, options);
+  Rng rng(11);
+  std::vector<NodeId> rr;
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.SampleRootedInto(2, rng, &rr);
+    EXPECT_EQ(rr.size(), 2u);  // root + exactly one source
+  }
+}
+
+TEST(LtRrSampling, CoverageEstimatesLtSpread) {
+  // σ_LT(S) = n * E[S covers R] must hold for LT RR sets too.
+  Graph g = GenerateErdosRenyi(80, 400, 12);
+  g.ApplyWeightedCascade();
+  RrOptions options;
+  options.linear_threshold = true;
+  RrCollection pool(g, 13, 2, options);
+  pool.GenerateUntil(60000);
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  size_t covered = 0;
+  for (size_t r = 0; r < pool.size(); ++r) {
+    for (NodeId v : pool.Set(r)) {
+      if (v <= 2) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double rr_estimate =
+      static_cast<double>(g.num_nodes()) * covered / pool.size();
+  const double mc = EstimateSpreadLt(g, seeds, 60000, 14, 4);
+  EXPECT_NEAR(rr_estimate, mc, 0.05 * mc + 0.2);
+}
+
+TEST(BundleGrdLt, SelectsSeedsUnderLinearThreshold) {
+  Graph g = GenerateErdosRenyi(300, 1800, 15);
+  g.ApplyWeightedCascade();
+  const std::vector<uint32_t> budgets = {10, 10};
+  const AllocationResult r =
+      BundleGrd(g, budgets, 0.5, 1.0, 16, 0,
+                DiffusionModel::kLinearThreshold);
+  EXPECT_TRUE(r.allocation.ValidateBudgets(budgets).ok());
+  EXPECT_EQ(r.allocation.SeedCount(0), 10u);
+  // LT-selected seeds should outperform arbitrary seeds under LT welfare.
+  ItemParams params = MakeTwoItemConfig12();
+  Allocation arbitrary;
+  for (NodeId v = 200; v < 210; ++v) arbitrary.Add(v, 0b11);
+  const double w_sel =
+      EstimateWelfareLt(g, r.allocation, params, 400, 17, 4).welfare;
+  const double w_arb =
+      EstimateWelfareLt(g, arbitrary, params, 400, 17, 4).welfare;
+  EXPECT_GT(w_sel, w_arb);
+}
+
+}  // namespace
+}  // namespace uic

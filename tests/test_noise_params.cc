@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "items/gap.h"
+#include "items/noise.h"
+#include "items/params.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+TEST(ItemNoise, ZeroIsDeterministic) {
+  Rng rng(1);
+  const ItemNoise n = ItemNoise::Zero();
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(n.Sample(rng), 0.0);
+}
+
+TEST(ItemNoise, GaussianHasRequestedMoments) {
+  Rng rng(2);
+  const ItemNoise n = ItemNoise::Gaussian(2.0);
+  double sum = 0, sum_sq = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = n.Sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / trials, 4.0, 0.1);
+}
+
+TEST(ItemNoise, UniformIsBounded) {
+  Rng rng(3);
+  const ItemNoise n = ItemNoise::Uniform(1.5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = n.Sample(rng);
+    EXPECT_GE(x, -1.5);
+    EXPECT_LE(x, 1.5);
+  }
+}
+
+TEST(ItemNoise, GaussianTailProbability) {
+  const ItemNoise n = ItemNoise::Gaussian(1.0);
+  EXPECT_NEAR(n.TailProbability(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.TailProbability(1.0), 0.15866, 1e-4);
+  EXPECT_NEAR(n.TailProbability(-1.0), 0.84134, 1e-4);
+  EXPECT_NEAR(n.TailProbability(-2.0), 0.97725, 1e-4);
+}
+
+TEST(ItemNoise, ZeroTailIsStep) {
+  const ItemNoise n = ItemNoise::Zero();
+  EXPECT_DOUBLE_EQ(n.TailProbability(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(n.TailProbability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.TailProbability(0.5), 0.0);
+}
+
+TEST(ItemNoise, UniformTailIsLinear) {
+  const ItemNoise n = ItemNoise::Uniform(2.0);
+  EXPECT_DOUBLE_EQ(n.TailProbability(-3.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.TailProbability(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.TailProbability(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(n.TailProbability(1.0), 0.25);
+}
+
+TEST(NoiseModel, SamplesPerItem) {
+  NoiseModel model({ItemNoise::Zero(), ItemNoise::Gaussian(1.0)});
+  Rng rng(4);
+  const auto w = model.Sample(rng);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(ItemParams, PriceIsAdditive) {
+  auto value = MakeValueFromUtilities(3, {1.0, 2.0, 4.0},
+                                      std::vector<double>(8, 0.0));
+  ItemParams params(value, {1.0, 2.0, 4.0}, NoiseModel::Zero(3));
+  EXPECT_DOUBLE_EQ(params.Price(0b111), 7.0);
+  EXPECT_DOUBLE_EQ(params.Price(0b101), 5.0);
+  EXPECT_DOUBLE_EQ(params.Price(0), 0.0);
+}
+
+TEST(ItemParams, DeterministicUtilityIsValueMinusPrice) {
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, 3.0, 4.0, 9.0});
+  ItemParams params(value, {2.0, 3.0}, NoiseModel::Zero(2));
+  EXPECT_DOUBLE_EQ(params.DeterministicUtility(0b01), 1.0);
+  EXPECT_DOUBLE_EQ(params.DeterministicUtility(0b10), 1.0);
+  EXPECT_DOUBLE_EQ(params.DeterministicUtility(0b11), 4.0);
+}
+
+// Eq. (12): the paper's Configuration 3 quotes q_{i1|∅}=0.5,
+// q_{i2|∅}=0.16, q_{i1|i2}=0.98, q_{i2|i1}=0.84.
+TEST(Gap, MatchesPaperConfiguration3) {
+  const std::vector<double> prices = {3.0, 4.0};
+  // V(i1)=3, V(i2)=3, V({i1,i2})=8.
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, 3.0, 3.0, 8.0});
+  ItemParams params(value, prices, NoiseModel::IidGaussian(2, 1.0));
+  const TwoItemGap gap = DeriveTwoItemGap(params);
+  EXPECT_NEAR(gap.q1_none, 0.5, 1e-6);
+  EXPECT_NEAR(gap.q2_none, 0.1587, 1e-3);
+  EXPECT_NEAR(gap.q1_given2, 0.9772, 1e-3);
+  EXPECT_NEAR(gap.q2_given1, 0.8413, 1e-3);
+}
+
+// Eq. (12): Configuration 1 quotes q_{i|∅}=0.5 and q_{i|j}=0.84.
+TEST(Gap, MatchesPaperConfiguration1) {
+  const std::vector<double> prices = {3.0, 4.0};
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, 3.0, 4.0, 8.0});
+  ItemParams params(value, prices, NoiseModel::IidGaussian(2, 1.0));
+  const TwoItemGap gap = DeriveTwoItemGap(params);
+  EXPECT_NEAR(gap.q1_none, 0.5, 1e-6);
+  EXPECT_NEAR(gap.q2_none, 0.5, 1e-6);
+  EXPECT_NEAR(gap.q1_given2, 0.8413, 1e-3);
+  EXPECT_NEAR(gap.q2_given1, 0.8413, 1e-3);
+}
+
+TEST(Gap, ComplementarityNeverLowersAdoptionProbability) {
+  // For supermodular V, q_{i|A} is non-decreasing in A.
+  Rng rng(5);
+  auto value = MakeRandomSupermodularValue(3, rng);
+  ItemParams params(value, {1.0, 1.5, 2.0}, NoiseModel::IidGaussian(3, 1.0));
+  for (ItemId i = 0; i < 3; ++i) {
+    const ItemSet others = FullItemSet(3) & ~ItemBit(i);
+    ForEachSubset(others, [&](ItemSet a) {
+      ForEachSubset(a, [&](ItemSet b) {
+        if (b == a) return;
+        EXPECT_GE(GapProbability(params, i, a) + 1e-12,
+                  GapProbability(params, i, b));
+      });
+    });
+  }
+}
+
+}  // namespace
+}  // namespace uic

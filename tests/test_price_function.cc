@@ -1,0 +1,104 @@
+#include "items/price_function.h"
+
+#include <gtest/gtest.h>
+
+#include "items/supermodular_generators.h"
+#include "items/utility_table.h"
+#include "items/value_function.h"
+
+namespace uic {
+namespace {
+
+TEST(AdditivePrice, SumsItemPrices) {
+  AdditivePriceFunction p({2.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(p.Price(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Price(0b111), 10.0);
+  EXPECT_DOUBLE_EQ(p.Price(0b101), 7.0);
+}
+
+TEST(VolumeDiscountPrice, NoDiscountEqualsAdditive) {
+  VolumeDiscountPriceFunction p({2.0, 3.0, 5.0}, 1.0);
+  AdditivePriceFunction add({2.0, 3.0, 5.0});
+  for (ItemSet s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(p.Price(s), add.Price(s));
+  }
+}
+
+TEST(VolumeDiscountPrice, DiscountsCheaperItemsDeeper) {
+  // Prices 10, 4 at discount 0.5: bundle costs 10 + 4*0.5 = 12.
+  VolumeDiscountPriceFunction p({10.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(p.Price(0b01), 10.0);
+  EXPECT_DOUBLE_EQ(p.Price(0b10), 4.0);
+  EXPECT_DOUBLE_EQ(p.Price(0b11), 12.0);
+}
+
+TEST(VolumeDiscountPrice, OrderIndependentOfItemIndices) {
+  // The most expensive item is charged full price regardless of index.
+  VolumeDiscountPriceFunction p({4.0, 10.0}, 0.5);
+  EXPECT_DOUBLE_EQ(p.Price(0b11), 12.0);
+}
+
+// §5: a submodular price keeps the utility supermodular. Verify both
+// halves: the discount price is submodular, and V − P is supermodular
+// for supermodular V.
+TEST(VolumeDiscountPrice, IsSubmodularAndMonotone) {
+  // Wrap the price as a "value function" to reuse the checkers.
+  class PriceAsValue : public ValueFunction {
+   public:
+    explicit PriceAsValue(const PriceFunction& p) : p_(p) {}
+    ItemId num_items() const override { return p_.num_items(); }
+    double Value(ItemSet s) const override { return p_.Price(s); }
+
+   private:
+    const PriceFunction& p_;
+  };
+  VolumeDiscountPriceFunction p({10.0, 4.0, 7.0, 2.0}, 0.6);
+  PriceAsValue as_value(p);
+  EXPECT_TRUE(IsSubmodular(as_value));
+  EXPECT_TRUE(IsMonotone(as_value));
+}
+
+TEST(VolumeDiscountPrice, UtilityStaysSupermodular) {
+  Rng rng(1);
+  auto value = MakeRandomSupermodularValue(4, rng);
+  auto price =
+      std::make_shared<VolumeDiscountPriceFunction>(
+          std::vector<double>{1.0, 2.0, 1.5, 0.5}, 0.7);
+  ItemParams params(value, price, NoiseModel::Zero(4));
+  // Materialize U = V − P as a value function and check supermodularity.
+  std::vector<double> table(16);
+  for (ItemSet s = 0; s < 16; ++s) table[s] = params.DeterministicUtility(s);
+  TabularValueFunction utility(4, std::move(table));
+  EXPECT_TRUE(IsSupermodular(utility));
+}
+
+TEST(ItemParams, GenericPriceFlowsThroughUtilityTable) {
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, 12.0, 6.0, 20.0});
+  auto price = std::make_shared<VolumeDiscountPriceFunction>(
+      std::vector<double>{10.0, 4.0}, 0.5);
+  ItemParams params(value, price, NoiseModel::Zero(2));
+  const UtilityTable table(params);
+  EXPECT_DOUBLE_EQ(table.Utility(0b01), 2.0);   // 12 − 10
+  EXPECT_DOUBLE_EQ(table.Utility(0b10), 2.0);   // 6 − 4
+  EXPECT_DOUBLE_EQ(table.Utility(0b11), 8.0);   // 20 − 12
+}
+
+TEST(ItemParams, DiscountMakesBundlesStrictlyMoreAttractive) {
+  // Same valuation, additive vs discounted price: the discounted bundle's
+  // utility dominates, singletons unchanged.
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, 10.0, 10.0, 22.0});
+  const std::vector<double> prices = {8.0, 8.0};
+  ItemParams additive(value, prices, NoiseModel::Zero(2));
+  ItemParams discounted(
+      value, std::make_shared<VolumeDiscountPriceFunction>(prices, 0.5),
+      NoiseModel::Zero(2));
+  EXPECT_DOUBLE_EQ(additive.DeterministicUtility(0b01),
+                   discounted.DeterministicUtility(0b01));
+  EXPECT_GT(discounted.DeterministicUtility(0b11),
+            additive.DeterministicUtility(0b11));
+}
+
+}  // namespace
+}  // namespace uic

@@ -1,0 +1,139 @@
+#include "items/utility_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+ItemParams TwoItemParams(double v1, double v2, double v12, double p1,
+                         double p2) {
+  auto value = std::make_shared<TabularValueFunction>(
+      2, std::vector<double>{0.0, v1, v2, v12});
+  return ItemParams(value, {p1, p2}, NoiseModel::Zero(2));
+}
+
+TEST(UtilityTable, ComputesValueMinusPricePlusNoise) {
+  ItemParams params = TwoItemParams(3.0, 4.0, 9.0, 1.0, 2.0);
+  const UtilityTable det(params);
+  EXPECT_DOUBLE_EQ(det.Utility(0), 0.0);
+  EXPECT_DOUBLE_EQ(det.Utility(0b01), 2.0);
+  EXPECT_DOUBLE_EQ(det.Utility(0b10), 2.0);
+  EXPECT_DOUBLE_EQ(det.Utility(0b11), 6.0);
+
+  const UtilityTable noisy(params, {0.5, -1.5});
+  EXPECT_DOUBLE_EQ(noisy.Utility(0b01), 2.5);
+  EXPECT_DOUBLE_EQ(noisy.Utility(0b10), 0.5);
+  EXPECT_DOUBLE_EQ(noisy.Utility(0b11), 5.0);
+}
+
+TEST(UtilityTable, BestAdoptionPicksUtilityMaximizer) {
+  // i1 alone +2, i2 alone -1, both +3.
+  ItemParams params = TwoItemParams(3.0, 1.0, 8.0, 1.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.BestAdoption(0, 0b01), 0b01u);
+  EXPECT_EQ(table.BestAdoption(0, 0b10), 0u);  // negative alone: adopt nothing
+  EXPECT_EQ(table.BestAdoption(0, 0b11), 0b11u);
+}
+
+TEST(UtilityTable, BestAdoptionRespectsCurrentAdoption) {
+  // A node that already adopted i2 must keep it even if dropping would pay.
+  ItemParams params = TwoItemParams(3.0, 1.0, 8.0, 1.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.BestAdoption(0b10, 0b11), 0b11u);
+  EXPECT_EQ(table.BestAdoption(0b10, 0b10), 0b10u);
+}
+
+TEST(UtilityTable, TieBreaksTowardLargerCardinality) {
+  // i1 alone +1; adding i2 keeps utility +1 (marginal 0): prefer {i1,i2}.
+  ItemParams params = TwoItemParams(2.0, 2.0, 4.0, 1.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.BestAdoption(0, 0b11), 0b11u);
+}
+
+TEST(UtilityTable, EmptyDesireAdoptsNothing) {
+  ItemParams params = TwoItemParams(5.0, 5.0, 12.0, 1.0, 1.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.BestAdoption(0, 0), 0u);
+}
+
+TEST(UtilityTable, GlobalOptimumFindsBestItemset) {
+  // Only the pair is profitable.
+  ItemParams params = TwoItemParams(1.0, 1.0, 7.0, 2.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.GlobalOptimum(), 0b11u);
+}
+
+TEST(UtilityTable, GlobalOptimumEmptyWhenAllNegative) {
+  ItemParams params = TwoItemParams(1.0, 1.0, 3.0, 2.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_EQ(table.GlobalOptimum(), 0u);
+}
+
+TEST(UtilityTable, LocalMaximumDetection) {
+  ItemParams params = TwoItemParams(3.0, 1.0, 8.0, 1.0, 2.0);
+  const UtilityTable table(params);
+  EXPECT_TRUE(table.IsLocalMaximum(0));
+  EXPECT_TRUE(table.IsLocalMaximum(0b01));   // +2 beats 0
+  EXPECT_FALSE(table.IsLocalMaximum(0b10));  // -1 below 0
+  EXPECT_TRUE(table.IsLocalMaximum(0b11));   // +3 beats all subsets
+}
+
+class Lemma1Test : public ::testing::TestWithParam<uint64_t> {};
+
+// Lemma 1: for supermodular utilities, the union of two local maxima is a
+// local maximum (and its utility is at least both).
+TEST_P(Lemma1Test, UnionOfLocalMaximaIsLocalMaximum) {
+  Rng rng(GetParam());
+  const ItemId k = 5;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 0.8);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  std::vector<ItemSet> local_maxima;
+  for (ItemSet s = 0; s < (1u << k); ++s) {
+    if (table.IsLocalMaximum(s)) local_maxima.push_back(s);
+  }
+  ASSERT_FALSE(local_maxima.empty());
+  for (ItemSet a : local_maxima) {
+    for (ItemSet b : local_maxima) {
+      EXPECT_TRUE(table.IsLocalMaximum(a | b))
+          << ItemSetToString(a) << " ∪ " << ItemSetToString(b);
+      EXPECT_GE(table.Utility(a | b) + 1e-9,
+                std::max(table.Utility(a), table.Utility(b)));
+    }
+  }
+}
+
+// The global optimum is unique under the larger-cardinality tie-break:
+// no strictly larger set ties with it, and nothing beats it.
+TEST_P(Lemma1Test, GlobalOptimumIsMaximalMaximizer) {
+  Rng rng(GetParam() ^ 0x77);
+  const ItemId k = 5;
+  auto value = MakeRandomSupermodularValue(k, rng, 0.2, 2.0, 0.8);
+  std::vector<double> prices(k);
+  for (auto& p : prices) p = rng.NextUniform(0.5, 3.0);
+  ItemParams params(value, prices, NoiseModel::Zero(k));
+  std::vector<double> noise(k);
+  for (auto& x : noise) x = rng.NextGaussian(0.0, 1.0);
+  const UtilityTable table(params, noise);
+
+  const ItemSet opt = table.GlobalOptimum();
+  for (ItemSet s = 0; s < (1u << k); ++s) {
+    EXPECT_LE(table.Utility(s), table.Utility(opt) + 1e-9);
+    if (std::abs(table.Utility(s) - table.Utility(opt)) < 1e-9) {
+      EXPECT_TRUE(IsSubset(s, opt)) << ItemSetToString(s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Test, ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace uic

@@ -1,0 +1,138 @@
+#include "items/value_function.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "items/supermodular_generators.h"
+
+namespace uic {
+namespace {
+
+TEST(TabularValueFunction, StoresAndReturnsValues) {
+  TabularValueFunction fn(2, {0.0, 1.0, 2.0, 5.0});
+  EXPECT_EQ(fn.num_items(), 2u);
+  EXPECT_DOUBLE_EQ(fn.Value(0b11), 5.0);
+  EXPECT_DOUBLE_EQ(fn.Value(0b01), 1.0);
+}
+
+TEST(TabularValueFunction, FromFunctionMaterializes) {
+  AdditiveValueFunction add({1.0, 2.0, 4.0});
+  TabularValueFunction tab = TabularValueFunction::FromFunction(add);
+  for (ItemSet s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(tab.Value(s), add.Value(s));
+  }
+}
+
+TEST(AdditiveValueFunction, SumsItemValues) {
+  AdditiveValueFunction fn({1.5, 2.5});
+  EXPECT_DOUBLE_EQ(fn.Value(0), 0.0);
+  EXPECT_DOUBLE_EQ(fn.Value(0b11), 4.0);
+}
+
+TEST(Checkers, AdditiveIsModular) {
+  AdditiveValueFunction fn({1.0, 2.0, 3.0});
+  EXPECT_TRUE(IsMonotone(fn));
+  EXPECT_TRUE(IsSupermodular(fn));
+  EXPECT_TRUE(IsSubmodular(fn));
+}
+
+TEST(Checkers, DetectsSupermodularOnly) {
+  // V({1,2}) has positive synergy: supermodular, not submodular.
+  TabularValueFunction fn(2, {0.0, 1.0, 1.0, 3.0});
+  EXPECT_TRUE(IsMonotone(fn));
+  EXPECT_TRUE(IsSupermodular(fn));
+  EXPECT_FALSE(IsSubmodular(fn));
+}
+
+TEST(Checkers, DetectsSubmodularOnly) {
+  // Coverage-like: diminishing returns.
+  TabularValueFunction fn(2, {0.0, 1.0, 1.0, 1.5});
+  EXPECT_TRUE(IsMonotone(fn));
+  EXPECT_FALSE(IsSupermodular(fn));
+  EXPECT_TRUE(IsSubmodular(fn));
+}
+
+TEST(Checkers, DetectsNonMonotone) {
+  TabularValueFunction fn(2, {0.0, 2.0, 1.0, 1.5});
+  EXPECT_FALSE(IsMonotone(fn));
+}
+
+TEST(ConeValue, MatchesTargetUtilities) {
+  const std::vector<double> prices = {1.0, 1.0, 1.0};
+  auto fn = MakeConeValue(3, /*core_item=*/0, prices, 5.0, 2.0, -1.0);
+  // Utility = V - P: supersets of core get 5 + 2*(extras).
+  EXPECT_DOUBLE_EQ(fn->Value(0b001) - 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(fn->Value(0b011) - 2.0, 7.0);
+  EXPECT_DOUBLE_EQ(fn->Value(0b111) - 3.0, 9.0);
+  // Non-core sets are -1 per item.
+  EXPECT_DOUBLE_EQ(fn->Value(0b010) - 1.0, -1.0);
+  EXPECT_DOUBLE_EQ(fn->Value(0b110) - 2.0, -2.0);
+}
+
+TEST(ConeValue, IsSupermodular) {
+  const std::vector<double> prices = {2.0, 1.0, 1.5, 0.5};
+  auto fn = MakeConeValue(4, /*core_item=*/2, prices, 5.0, 2.0, -1.0);
+  EXPECT_TRUE(IsSupermodular(*fn));
+}
+
+class LevelwiseValueTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Lemma 10: the Configuration-8 generator always yields a supermodular
+// valuation, for any random draw.
+TEST_P(LevelwiseValueTest, IsSupermodularAndMonotone) {
+  Rng rng(GetParam());
+  std::vector<double> level1(5);
+  for (auto& v : level1) v = rng.NextUniform(0.5, 4.0);
+  auto fn = MakeLevelwiseSupermodularValue(level1, 1.0, 5.0, GetParam());
+  EXPECT_TRUE(IsSupermodular(*fn)) << "seed " << GetParam();
+  EXPECT_TRUE(IsMonotone(*fn)) << "seed " << GetParam();
+  EXPECT_DOUBLE_EQ(fn->Value(0), 0.0);
+}
+
+// Lemma 11 (well-definedness): values at level t exceed all level t-1
+// values they extend, with a boost of at least boost_lo.
+TEST_P(LevelwiseValueTest, LevelsGrowByAtLeastBoost) {
+  Rng rng(GetParam() ^ 0xabc);
+  std::vector<double> level1(4);
+  for (auto& v : level1) v = rng.NextUniform(0.5, 4.0);
+  auto fn = MakeLevelwiseSupermodularValue(level1, 1.0, 5.0, GetParam());
+  for (ItemSet s = 1; s < 16; ++s) {
+    if (Cardinality(s) < 2) continue;
+    bool some_parent_close = false;
+    ForEachItem(s, [&](ItemId i) {
+      const double parent = fn->Value(s & ~ItemBit(i));
+      EXPECT_GE(fn->Value(s), parent + 1.0 - 1e-9);
+      some_parent_close = true;
+    });
+    EXPECT_TRUE(some_parent_close);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelwiseValueTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class RandomSupermodularTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSupermodularTest, GeneratorSatisfiesProperties) {
+  Rng rng(GetParam());
+  auto fn = MakeRandomSupermodularValue(5, rng);
+  EXPECT_TRUE(IsSupermodular(*fn));
+  EXPECT_TRUE(IsMonotone(*fn));
+  EXPECT_DOUBLE_EQ(fn->Value(0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSupermodularTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(ValueFromUtilities, ReconstructsValueFromTargets) {
+  const std::vector<double> prices = {3.0, 4.0};
+  const std::vector<double> utilities = {0.0, 0.0, -1.0, 1.0};
+  auto fn = MakeValueFromUtilities(2, prices, utilities);
+  EXPECT_DOUBLE_EQ(fn->Value(0b01), 3.0);
+  EXPECT_DOUBLE_EQ(fn->Value(0b10), 3.0);
+  EXPECT_DOUBLE_EQ(fn->Value(0b11), 8.0);
+}
+
+}  // namespace
+}  // namespace uic
