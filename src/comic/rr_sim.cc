@@ -26,7 +26,7 @@ double LambdaTim(double n, double k, double eps, double ell) {
 /// IMM-style doubling, then sample θ = λ_TIM/LB sets and greedily select.
 AllocationResult SelectWithNodeCoins(const Graph& graph,
                                      const std::vector<float>& pass_prob,
-                                     uint32_t budget1, uint32_t budget2,
+                                     uint32_t budget1,
                                      const std::vector<NodeId>& seeds2,
                                      const ComIcBaselineOptions& options,
                                      uint64_t seed, unsigned workers) {
@@ -92,7 +92,7 @@ AllocationResult RrSimPlus(const Graph& graph, const TwoItemGap& gap,
   for (NodeId v : seeds2) pass[v] = static_cast<float>(gap.q1_given2);
 
   AllocationResult result = SelectWithNodeCoins(
-      graph, pass, budget1, budget2, seeds2, options, seed, workers);
+      graph, pass, budget1, seeds2, options, seed, workers);
   result.num_rr_sets += imm2.num_rr_sets;
   result.seconds = timer.ElapsedSeconds();
   return result;
@@ -132,7 +132,7 @@ AllocationResult RrCim(const Graph& graph, const TwoItemGap& gap,
   }
 
   AllocationResult result = SelectWithNodeCoins(
-      graph, pass, budget1, budget2, seeds2, options, seed, workers);
+      graph, pass, budget1, seeds2, options, seed, workers);
   result.num_rr_sets += imm2.num_rr_sets;
   result.seconds = timer.ElapsedSeconds();
   return result;

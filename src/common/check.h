@@ -2,6 +2,7 @@
 // cold paths); UIC_DCHECK compiles away in release builds.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,6 +12,17 @@ namespace uic::internal {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }
+
+[[noreturn]] __attribute__((format(printf, 3, 4))) inline void FailWith(
+    const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: ", file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::abort();
+}
 }  // namespace uic::internal
 
 #define UIC_CHECK(cond)                                        \
@@ -18,6 +30,16 @@ namespace uic::internal {
     if (!(cond)) {                                             \
       ::uic::internal::CheckFailed(__FILE__, __LINE__, #cond); \
     }                                                          \
+  } while (0)
+
+// Always-on check with a printf-style message describing the failure, for
+// call sites (flag parsing, file loading) where the raw expression text would
+// not tell the user what to fix.
+#define UIC_CHECK_MSG(cond, ...)                                \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::uic::internal::FailWith(__FILE__, __LINE__, __VA_ARGS__); \
+    }                                                           \
   } while (0)
 
 #define UIC_CHECK_GE(a, b) UIC_CHECK((a) >= (b))

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace uic {
@@ -52,6 +53,202 @@ Result<Allocation> LoadAllocation(const std::string& path) {
     allocation.Add(static_cast<NodeId>(node), static_cast<ItemSet>(items));
   }
   return allocation;
+}
+
+namespace {
+
+// Reads one "<key> ..." line into `rest`, failing if the line is missing or
+// its first token is not `key`. Comment lines ('#') are skipped.
+Status ExpectKeyLine(std::istream& in, const std::string& key,
+                     std::string* rest) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string head;
+    tokens >> head;
+    if (head != key) {
+      return Status::IOError("expected '" + key + "' line, got '" + line +
+                             "'");
+    }
+    std::getline(tokens, *rest);
+    return Status::OK();
+  }
+  return Status::IOError("unexpected end of file, expected '" + key + "'");
+}
+
+Result<std::vector<double>> ParseDoubles(const std::string& text,
+                                         size_t expected,
+                                         const std::string& what) {
+  std::istringstream in(text);
+  std::vector<double> values;
+  values.reserve(expected);
+  double v;
+  while (in >> v) values.push_back(v);
+  if (!in.eof() || values.size() != expected) {
+    return Status::IOError("expected " + std::to_string(expected) + " " +
+                           what + " values, got " +
+                           std::to_string(values.size()));
+  }
+  return values;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# uic-graph v1\n";
+  out << "nodes " << graph.num_nodes() << "\n";
+  out << "edges " << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto targets = graph.OutNeighbors(u);
+    const auto probs = graph.OutProbs(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      char buf[64];
+      // 9 significant digits round-trips the float-typed probability.
+      std::snprintf(buf, sizeof(buf), "%u %u %.9g\n", u, targets[k],
+                    static_cast<double>(probs[k]));
+      out << buf;
+    }
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string rest;
+  if (Status s = ExpectKeyLine(in, "nodes", &rest); !s.ok()) return s;
+  // Parse counts as signed so negatives fail validation instead of wrapping
+  // through the unsigned extractor and truncating into the 32-bit NodeId.
+  long long num_nodes;
+  {
+    std::istringstream tokens(rest);
+    if (!(tokens >> num_nodes) || num_nodes < 0 ||
+        num_nodes > std::numeric_limits<NodeId>::max()) {
+      return Status::IOError("bad node count '" + rest + "'");
+    }
+  }
+  if (Status s = ExpectKeyLine(in, "edges", &rest); !s.ok()) return s;
+  long long num_edges;
+  {
+    std::istringstream tokens(rest);
+    if (!(tokens >> num_edges) || num_edges < 0) {
+      return Status::IOError("bad edge count '" + rest + "'");
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(num_nodes));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    long long u, v;
+    double p;
+    if (!(tokens >> u >> v >> p)) {
+      return Status::IOError("bad edge line '" + line + "'");
+    }
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+      return Status::IOError("edge endpoint out of range in '" + line + "'");
+    }
+    // SaveGraph never emits self-loops; GraphBuilder would drop one
+    // silently, so surface it as corruption here.
+    if (u == v) {
+      return Status::IOError("self-loop in '" + line + "'");
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), p);
+  }
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  // Compare the post-Build count so duplicate edge lines (which Build
+  // dedupes) are caught, not just missing/extra lines.
+  if (built.value().num_edges() != static_cast<size_t>(num_edges)) {
+    return Status::IOError("edge count mismatch: header says " +
+                           std::to_string(num_edges) + ", file has " +
+                           std::to_string(built.value().num_edges()));
+  }
+  return built;
+}
+
+Status SaveItemParams(const ItemParams& params, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const ItemId k = params.num_items();
+  const size_t table_size = size_t{1} << k;
+  out << "# uic-itemparams v1\n";
+  out << "items " << k << "\n";
+  std::string values = "values";
+  std::string prices = "prices";
+  for (ItemSet s = 0; s < table_size; ++s) {
+    AppendDouble(&values, params.value().Value(s));
+    AppendDouble(&prices, params.price().Price(s));
+  }
+  out << values << "\n" << prices << "\n";
+  for (ItemId i = 0; i < k; ++i) {
+    const ItemNoise& n = params.noise().item(i);
+    const char* kind = n.kind == ItemNoise::Kind::kZero       ? "zero"
+                       : n.kind == ItemNoise::Kind::kGaussian ? "gaussian"
+                                                              : "uniform";
+    std::string noise_line = std::string("noise ") + kind;
+    AppendDouble(&noise_line, n.param);
+    out << noise_line << "\n";
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<ItemParams> LoadItemParams(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string rest;
+  if (Status s = ExpectKeyLine(in, "items", &rest); !s.ok()) return s;
+  unsigned long k;
+  {
+    std::istringstream tokens(rest);
+    if (!(tokens >> k) || k > kMaxItems) {
+      return Status::IOError("bad item count '" + rest + "'");
+    }
+  }
+  const size_t table_size = size_t{1} << k;
+  if (Status s = ExpectKeyLine(in, "values", &rest); !s.ok()) return s;
+  auto values = ParseDoubles(rest, table_size, "value");
+  if (!values.ok()) return values.status();
+  if (Status s = ExpectKeyLine(in, "prices", &rest); !s.ok()) return s;
+  auto prices = ParseDoubles(rest, table_size, "price");
+  if (!prices.ok()) return prices.status();
+  std::vector<ItemNoise> noise;
+  noise.reserve(k);
+  for (unsigned long i = 0; i < k; ++i) {
+    if (Status s = ExpectKeyLine(in, "noise", &rest); !s.ok()) return s;
+    std::istringstream tokens(rest);
+    std::string kind;
+    double param;
+    if (!(tokens >> kind >> param)) {
+      return Status::IOError("bad noise line '" + rest + "'");
+    }
+    if (kind == "zero") {
+      noise.push_back(ItemNoise::Zero());
+    } else if (kind == "gaussian") {
+      noise.push_back(ItemNoise::Gaussian(param));
+    } else if (kind == "uniform") {
+      noise.push_back(ItemNoise::Uniform(param));
+    } else {
+      return Status::IOError("unknown noise kind '" + kind + "'");
+    }
+  }
+  return ItemParams(
+      std::make_shared<TabularValueFunction>(static_cast<ItemId>(k),
+                                             values.MoveValue()),
+      std::make_shared<TabularPriceFunction>(static_cast<ItemId>(k),
+                                             prices.MoveValue()),
+      NoiseModel(std::move(noise)));
 }
 
 }  // namespace uic

@@ -1,14 +1,19 @@
-// Saving/loading seed allocations (CSV "node,itemset-hex" rows).
+// Saving/loading computed artifacts: seed allocations, graphs, and item
+// parameters.
 //
 // Lets a computed allocation be reused across processes — e.g. run
 // bundleGRD once on a big network, then evaluate welfare under several
-// utility configurations in separate jobs.
+// utility configurations in separate jobs. Graph and ItemParams round-trips
+// let a full experiment setup (network + valuation + prices + noise) be
+// frozen to disk and replayed elsewhere.
 #pragma once
 
 #include <string>
 
 #include "common/status.h"
 #include "diffusion/allocation.h"
+#include "graph/graph.h"
+#include "items/params.h"
 
 namespace uic {
 
@@ -18,5 +23,23 @@ Status SaveAllocation(const Allocation& allocation, const std::string& path);
 
 /// Read an allocation previously written by SaveAllocation.
 Result<Allocation> LoadAllocation(const std::string& path);
+
+/// Write `graph` to `path` (overwrites). Unlike SaveEdgeList, the format
+/// carries an explicit node count, so graphs with zero edges (including the
+/// empty graph) round-trip exactly.
+Status SaveGraph(const Graph& graph, const std::string& path);
+
+/// Read a graph previously written by SaveGraph.
+Result<Graph> LoadGraph(const std::string& path);
+
+/// Write `params` to `path` (overwrites). The value and price functions are
+/// materialized into dense 2^k tables, so any ValueFunction/PriceFunction
+/// implementation round-trips (as its tabular equivalent); the noise model
+/// is stored per item as (kind, param).
+Status SaveItemParams(const ItemParams& params, const std::string& path);
+
+/// Read item parameters previously written by SaveItemParams. The loaded
+/// value/price functions are TabularValueFunction/TabularPriceFunction.
+Result<ItemParams> LoadItemParams(const std::string& path);
 
 }  // namespace uic

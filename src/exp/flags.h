@@ -1,25 +1,51 @@
 // Minimal command-line flag parsing for the bench binaries.
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/check.h"
+
 namespace uic {
 
 /// \brief Parses "--name value" pairs from argv.
+///
+/// Malformed or out-of-range numeric values abort with a message naming the
+/// offending flag instead of silently parsing to 0 (the `atol`/`atof`
+/// behaviour this class originally had).
 class Flags {
  public:
   Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
 
   double GetDouble(const std::string& name, double def) const {
     const char* v = Find(name);
-    return v ? std::atof(v) : def;
+    if (!v) return def;
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    UIC_CHECK_MSG(end != v && *end == '\0', "flag --%s: '%s' is not a number",
+                  name.c_str(), v);
+    // ERANGE with ±HUGE_VAL is overflow; ERANGE on underflow still returns a
+    // usable (sub)normal value, so accept it.
+    UIC_CHECK_MSG(errno != ERANGE || (parsed != HUGE_VAL && parsed != -HUGE_VAL),
+                  "flag --%s: '%s' is out of double range", name.c_str(), v);
+    return parsed;
   }
 
   long GetInt(const std::string& name, long def) const {
     const char* v = Find(name);
-    return v ? std::atol(v) : def;
+    if (!v) return def;
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    UIC_CHECK_MSG(end != v && *end == '\0',
+                  "flag --%s: '%s' is not an integer", name.c_str(), v);
+    UIC_CHECK_MSG(errno != ERANGE, "flag --%s: '%s' is out of long range",
+                  name.c_str(), v);
+    return parsed;
   }
 
   bool GetBool(const std::string& name, bool def = false) const {
@@ -32,8 +58,12 @@ class Flags {
  private:
   const char* Find(const std::string& name) const {
     const std::string flag = "--" + name;
-    for (int i = 1; i + 1 < argc_; ++i) {
-      if (flag == argv_[i]) return argv_[i + 1];
+    for (int i = 1; i < argc_; ++i) {
+      if (flag == argv_[i]) {
+        UIC_CHECK_MSG(i + 1 < argc_, "flag --%s expects a value",
+                      name.c_str());
+        return argv_[i + 1];
+      }
     }
     return nullptr;
   }

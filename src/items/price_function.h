@@ -42,6 +42,34 @@ class AdditivePriceFunction : public PriceFunction {
   std::vector<double> prices_;
 };
 
+/// \brief Dense table of 2^k prices. Mainly used to round-trip an arbitrary
+/// PriceFunction through serialization; any price can be materialized into
+/// one with FromFunction.
+class TabularPriceFunction : public PriceFunction {
+ public:
+  /// Construct from an explicit table; `table.size()` must be `2^k`.
+  TabularPriceFunction(ItemId num_items, std::vector<double> table)
+      : num_items_(num_items), table_(std::move(table)) {
+    UIC_CHECK_LE(num_items_, kMaxItems);
+    UIC_CHECK_EQ(table_.size(), size_t{1} << num_items_);
+  }
+
+  /// Materialize any price function into a table.
+  static TabularPriceFunction FromFunction(const PriceFunction& fn) {
+    const ItemId k = fn.num_items();
+    std::vector<double> table(size_t{1} << k);
+    for (ItemSet s = 0; s < table.size(); ++s) table[s] = fn.Price(s);
+    return TabularPriceFunction(k, std::move(table));
+  }
+
+  ItemId num_items() const override { return num_items_; }
+  double Price(ItemSet set) const override { return table_[set]; }
+
+ private:
+  ItemId num_items_;
+  std::vector<double> table_;
+};
+
 /// \brief Volume-discount price: the j-th most expensive item in the
 /// bundle is charged p_i · discount^(j−1), with discount ∈ (0, 1].
 ///

@@ -134,6 +134,24 @@ TEST(Generators, LayeredDagIsAcyclicByConstruction) {
   EXPECT_EQ(g.OutDegree(5), 0u);
 }
 
+// Pins the exact topology a seeded generator produces (as an order-sensitive
+// FNV-style hash over the CSR edge list). Seeded generators draw only from
+// uic::Rng, so the result must be bit-identical across platforms and runs;
+// a change here breaks reproducibility of every seeded experiment.
+TEST(Generators, ErdosRenyiPinnedTopologyForSeed) {
+  Graph g = GenerateErdosRenyi(50, 200, 7);
+  ASSERT_EQ(g.num_nodes(), 50u);
+  ASSERT_EQ(g.num_edges(), 200u);
+  uint64_t h = 1469598103934665603ULL;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      h ^= u * 1000003ULL + v;
+      h *= 1099511628211ULL;
+    }
+  }
+  EXPECT_EQ(h, 0x05d7d4ce3efe235aULL);
+}
+
 TEST(Loaders, ParsesEdgeListWithCommentsAndProbs) {
   const std::string text =
       "# a comment\n"
