@@ -9,11 +9,11 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
 #include "exp/networks.h"
+#include "exp/suite.h"
 #include "welfare/block_accounting.h"
 
 int main(int argc, char** argv) {
@@ -33,8 +33,14 @@ int main(int argc, char** argv) {
   const auto& names = RealPlaystationItemNames();
 
   // One shared ranking; items join the bundle in order ps, c, g1, g2, g3.
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
+  problem.budgets = {k, k, k, k, k};
+  SolverOptions options;
+  options.seed = 151;
   const AllocationResult ranking_source =
-      BundleGrd(graph, {k, k, k, k, k}, 0.5, 1.0, 151);
+      MustSolve("bundle-grd", problem, options);
 
   TablePrinter table({"bundle", "det. utility", "welfare", "adopters"});
   for (ItemId j = 1; j <= 5; ++j) {

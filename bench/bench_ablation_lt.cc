@@ -9,12 +9,12 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/bundle_grd.h"
 #include "diffusion/lt_model.h"
 #include "diffusion/uic_model.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
 #include "exp/networks.h"
+#include "exp/suite.h"
 
 int main(int argc, char** argv) {
   using namespace uic;
@@ -33,13 +33,19 @@ int main(int argc, char** argv) {
   TablePrinter table({"budget", "IC-sel/IC-eval", "LT-sel/IC-eval",
                       "LT-sel/LT-eval", "IC-sel/LT-eval", "IC time(s)",
                       "LT time(s)"});
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 131;
   for (uint32_t k = 10; k <= 50; k += 20) {
-    const std::vector<uint32_t> budgets = {k, k};
-    const AllocationResult ic_sel = BundleGrd(graph, budgets, eps, 1.0, seed);
-    const AllocationResult lt_sel =
-        BundleGrd(graph, budgets, eps, 1.0, seed, 0,
-                  DiffusionModel::kLinearThreshold);
+    problem.budgets = {k, k};
+    options.seed = seed;
+    problem.model = DiffusionModel::kIndependentCascade;
+    const AllocationResult ic_sel = MustSolve("bundle-grd", problem, options);
+    problem.model = DiffusionModel::kLinearThreshold;
+    const AllocationResult lt_sel = MustSolve("bundle-grd", problem, options);
     const double ic_ic =
         EstimateWelfare(graph, ic_sel.allocation, params, mc, 7).welfare;
     const double lt_ic =

@@ -8,11 +8,10 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "core/baselines.h"
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "exp/flags.h"
 #include "exp/networks.h"
+#include "exp/suite.h"
 #include "items/supermodular_generators.h"
 
 int main(int argc, char** argv) {
@@ -35,9 +34,16 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"price model", "bundle utility", "bundleGRD",
                       "item-disj", "GRD/disj"});
-  const std::vector<uint32_t> budgets = {30, 30, 30};
-  const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, 141);
-  const AllocationResult idisj = ItemDisjoint(graph, budgets, eps, 1.0, 141);
+  // bundleGRD and item-disj never read the utilities, so the problem omits
+  // params: one allocation serves every price model below.
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.budgets = {30, 30, 30};
+  SolverOptions options;
+  options.eps = eps;
+  options.seed = 141;
+  const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+  const AllocationResult idisj = MustSolve("item-disj", problem, options);
 
   for (double discount : {1.0, 0.85, 0.7, 0.5}) {
     auto price =

@@ -12,7 +12,6 @@
 // baselines trail by up to ~5x.
 #include <cstdio>
 
-#include "comic/rr_sim.h"
 #include "common/table.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
@@ -42,19 +41,20 @@ void RunConfig(const Graph& graph, const ItemParams& params,
     }
   }
 
-  ComIcBaselineOptions comic_options;
-  comic_options.eps = eps;
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 11;
   for (auto [b1, b2] : budget_points) {
-    const std::vector<uint32_t> budgets = {b1, b2};
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
-    const AllocationResult sim_plus =
-        RrSimPlus(graph, gap, b1, b2, comic_options, seed);
-    const AllocationResult cim =
-        RrCim(graph, gap, b1, b2, comic_options, seed);
-    const AllocationResult idisj = ItemDisjoint(graph, budgets, eps, 1.0, seed);
-    const AllocationResult bdisj =
-        BundleDisjoint(graph, budgets, params, eps, 1.0, seed);
+    problem.budgets = {b1, b2};
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+    const AllocationResult sim_plus = MustSolve("rr-sim+", problem, options);
+    const AllocationResult cim = MustSolve("rr-cim", problem, options);
+    const AllocationResult idisj = MustSolve("item-disj", problem, options);
+    const AllocationResult bdisj = MustSolve("bundle-disj", problem, options);
 
     auto welfare = [&](const AllocationResult& r) {
       return EstimateWelfare(graph, r.allocation, params, mc, 555).welfare;

@@ -6,13 +6,11 @@
 // bundle-disj.
 #include <cstdio>
 
-#include "comic/rr_sim.h"
 #include "common/table.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
 #include "exp/networks.h"
 #include "exp/suite.h"
-#include "items/gap.h"
 
 namespace uic {
 namespace {
@@ -20,24 +18,26 @@ namespace {
 void RunNetwork(const std::string& name, const Graph& graph,
                 const ItemParams& params, bool run_comic, double eps) {
   std::printf("\n-- %s: %s --\n", name.c_str(), graph.Summary().c_str());
-  const TwoItemGap gap = DeriveTwoItemGap(params);
   TablePrinter table({"budget", "bundleGRD", "RR-SIM+", "RR-CIM",
                       "item-disj", "bundle-disj"});
-  ComIcBaselineOptions comic_options;
-  comic_options.eps = eps;
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 41;
   for (uint32_t k = 10; k <= 50; k += 20) {
-    const std::vector<uint32_t> budgets = {k, k};
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
-    const AllocationResult idisj = ItemDisjoint(graph, budgets, eps, 1.0, seed);
+    problem.budgets = {k, k};
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+    const AllocationResult idisj = MustSolve("item-disj", problem, options);
     const AllocationResult bdisj =
-        BundleDisjoint(graph, budgets, params, eps, 1.0, seed);
+        MustSolve("bundle-disj", problem, options);
     std::string sim_sets = "skipped", cim_sets = "skipped";
     if (run_comic) {
       const AllocationResult sim_plus =
-          RrSimPlus(graph, gap, k, k, comic_options, seed);
-      const AllocationResult cim =
-          RrCim(graph, gap, k, k, comic_options, seed);
+          MustSolve("rr-sim+", problem, options);
+      const AllocationResult cim = MustSolve("rr-cim", problem, options);
       sim_sets = TablePrinter::Int(static_cast<long long>(sim_plus.num_rr_sets));
       cim_sets = TablePrinter::Int(static_cast<long long>(cim.num_rr_sets));
     }

@@ -48,15 +48,19 @@ void RunConfig(const Graph& graph, const ItemParams& params,
   std::printf("\n-- %s --\n", title.c_str());
   TablePrinter table(
       {"total budget", "bundleGRD", "item-disj", "bundle-disj"});
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 71;
   for (uint32_t total = 100; total <= 500; total += 200) {
-    const std::vector<uint32_t> budgets =
-        SplitBudget(total, uniform, max_item);
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
-    const AllocationResult idisj =
-        ItemDisjoint(graph, budgets, eps, 1.0, seed);
+    problem.budgets = SplitBudget(total, uniform, max_item);
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+    const AllocationResult idisj = MustSolve("item-disj", problem, options);
     const AllocationResult bdisj =
-        BundleDisjoint(graph, budgets, params, eps, 1.0, seed);
+        MustSolve("bundle-disj", problem, options);
     auto welfare = [&](const AllocationResult& r) {
       return EstimateWelfare(graph, r.allocation, params, mc, 777).welfare;
     };

@@ -30,13 +30,18 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"#items", "bundleGRD(s)", "item-disj(s)",
                       "bundle-disj(s)"});
+  SolverOptions options;
+  options.eps = eps;
+  options.seed = 81;
   for (int s = 1; s <= max_items; ++s) {
-    const ItemParams params = MakeAdditiveConfig5(static_cast<ItemId>(s));
-    const std::vector<uint32_t> budgets(s, k);
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, 81);
-    const AllocationResult idisj = ItemDisjoint(graph, budgets, eps, 1.0, 81);
+    WelfareProblem problem;
+    problem.graph = &graph;
+    problem.params = MakeAdditiveConfig5(static_cast<ItemId>(s));
+    problem.budgets.assign(s, k);
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+    const AllocationResult idisj = MustSolve("item-disj", problem, options);
     const AllocationResult bdisj =
-        BundleDisjoint(graph, budgets, params, eps, 1.0, 81);
+        MustSolve("bundle-disj", problem, options);
     table.AddRow({std::to_string(s), TablePrinter::Num(grd.seconds, 3),
                   TablePrinter::Num(idisj.seconds, 3),
                   TablePrinter::Num(bdisj.seconds, 3)});

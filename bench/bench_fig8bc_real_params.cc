@@ -32,15 +32,20 @@ int main(int argc, char** argv) {
   TablePrinter table({"total budget", "bundleGRD welfare",
                       "bundle-disj welfare", "bundleGRD(s)",
                       "bundle-disj(s)"});
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 91;
   for (uint32_t total = 100; total <= 500; total += 100) {
     // 30% ps, 30% c, 20% g1, 10% g2, 10% g3.
-    const std::vector<uint32_t> budgets = {
-        total * 30 / 100, total * 30 / 100, total * 20 / 100,
-        total * 10 / 100, total * 10 / 100};
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
+    problem.budgets = {total * 30 / 100, total * 30 / 100, total * 20 / 100,
+                       total * 10 / 100, total * 10 / 100};
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
     const AllocationResult bdisj =
-        BundleDisjoint(graph, budgets, params, eps, 1.0, seed);
+        MustSolve("bundle-disj", problem, options);
     const double w_grd =
         EstimateWelfare(graph, grd.allocation, params, mc, 888).welfare;
     const double w_bdisj =

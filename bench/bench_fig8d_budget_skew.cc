@@ -46,10 +46,16 @@ int main(int argc, char** argv) {
   };
 
   TablePrinter table({"distribution", "welfare", "time(s)", "max budget"});
+  SolverOptions options;
+  options.eps = eps;
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
   uint64_t seed = 101;
   for (const Split& split : splits) {
-    const AllocationResult grd =
-        BundleGrd(graph, split.budgets, eps, 1.0, seed);
+    problem.budgets = split.budgets;
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
     const double w =
         EstimateWelfare(graph, grd.allocation, params, mc, 999).welfare;
     uint32_t bmax = 0;

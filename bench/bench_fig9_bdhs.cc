@@ -12,7 +12,6 @@
 // is concave — e.g. 75% of the benchmark at only 50% budget.
 #include <cstdio>
 
-#include "bdhs/bdhs.h"
 #include "common/table.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
@@ -28,34 +27,51 @@ void RunNetwork(const std::string& name, const Graph& graph,
                 const std::vector<double>& fractions) {
   std::printf("\n-- %s: %s --\n", name.c_str(), graph.Summary().c_str());
 
-  const BdhsResult step = BdhsStep(graph, params);
-  // BDHS-Concave requires uniform edge probabilities; evaluate it on a
-  // p=0.01 re-weighted copy, as the paper does.
-  Graph uniform = graph;
-  uniform.ApplyConstantProbability(0.01);
-  const BdhsResult concave = BdhsConcave(uniform, params, 0.01);
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
+  // BDHS is budget-free (it may assign the best bundle to every node);
+  // zero budgets satisfy the shared problem shape.
+  problem.budgets.assign(params.num_items(), 0);
+
+  // The "bdhs" solver reports the externality-model benchmark welfare as
+  // its objective. BDHS-Concave requires uniform edge probabilities; the
+  // adapter evaluates it on a p=0.01 re-weighted copy, as the paper does.
+  SolverOptions step_options;
+  const AllocationResult step = MustSolve("bdhs", problem, step_options);
+  SolverOptions concave_options;
+  concave_options.bdhs.variant = BdhsVariant::kConcave;
+  concave_options.bdhs.uniform_p = 0.01;
+  const AllocationResult concave =
+      MustSolve("bdhs", problem, concave_options);
+  const ItemSet step_bundle = step.allocation.empty()
+                                  ? kEmptyItemSet
+                                  : step.allocation.entries()[0].second;
   std::printf("benchmarks: BDHS-Step %.1f | BDHS-Concave %.1f "
               "(bundle %s)\n",
-              step.welfare, concave.welfare,
-              ItemSetToString(step.bundle).c_str());
+              step.objective, concave.objective,
+              ItemSetToString(step_bundle).c_str());
 
   TablePrinter table({"% budget", "bundleGRD welfare", "% of BDHS-Step",
                       "% of BDHS-Concave"});
+  SolverOptions options;
+  options.eps = eps;
   uint64_t seed = 111;
   for (double frac : fractions) {
     const uint32_t k = static_cast<uint32_t>(
         frac / 100.0 * static_cast<double>(graph.num_nodes()));
     if (k == 0) continue;
-    const std::vector<uint32_t> budgets(params.num_items(), k);
-    const AllocationResult grd = BundleGrd(graph, budgets, eps, 1.0, seed);
+    problem.budgets.assign(params.num_items(), k);
+    options.seed = seed;
+    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
     const double w =
         EstimateWelfare(graph, grd.allocation, params, mc, 1234).welfare;
     table.AddRow(
         {TablePrinter::Num(frac, 0), TablePrinter::Num(w, 1),
-         TablePrinter::Num(step.welfare > 0 ? 100.0 * w / step.welfare : 0,
-                           1),
          TablePrinter::Num(
-             concave.welfare > 0 ? 100.0 * w / concave.welfare : 0, 1)});
+             step.objective > 0 ? 100.0 * w / step.objective : 0, 1),
+         TablePrinter::Num(
+             concave.objective > 0 ? 100.0 * w / concave.objective : 0, 1)});
     ++seed;
   }
   table.Print();

@@ -32,19 +32,26 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"% nodes", "n", "welfare1 (1/din)", "time1(s)",
                       "welfare2 (p=0.01)", "time2(s)"});
+  SolverOptions options;
+  options.eps = eps;
   uint64_t seed = 121;
   for (int pct = 20; pct <= 100; pct += 20) {
     const NodeId target = static_cast<NodeId>(
         static_cast<double>(full.num_nodes()) * pct / 100.0);
     Graph sub = BfsInducedSubgraph(full, 0, target);
+    WelfareProblem problem;
+    problem.graph = &sub;
+    problem.params = params;
+    problem.budgets = budgets;
+    options.seed = seed;
 
     sub.ApplyWeightedCascade();
-    const AllocationResult grd1 = BundleGrd(sub, budgets, eps, 1.0, seed);
+    const AllocationResult grd1 = MustSolve("bundle-grd", problem, options);
     const double w1 =
         EstimateWelfare(sub, grd1.allocation, params, mc, 4321).welfare;
 
     sub.ApplyConstantProbability(0.01);
-    const AllocationResult grd2 = BundleGrd(sub, budgets, eps, 1.0, seed);
+    const AllocationResult grd2 = MustSolve("bundle-grd", problem, options);
     const double w2 =
         EstimateWelfare(sub, grd2.allocation, params, mc, 4321).welfare;
 

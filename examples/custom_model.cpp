@@ -9,12 +9,12 @@
 //  * run the full pipeline and inspect per-node adoptions of one world.
 #include <cstdio>
 
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "graph/loaders.h"
 #include "items/gap.h"
 #include "items/supermodular_generators.h"
 #include "items/value_function.h"
+#include "solver/registry.h"
 
 int main() {
   using namespace uic;
@@ -72,13 +72,25 @@ int main() {
               GapProbability(params, 2, ItemBit(0) | ItemBit(1)));
 
   // --- 5. Allocate and diffuse ------------------------------------------
-  const std::vector<uint32_t> budgets = {2, 2, 1};
-  const AllocationResult grd = BundleGrd(graph, budgets, 0.3, 1.0, 5);
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
+  problem.budgets = {2, 2, 1};
+  SolverOptions solver_options;
+  solver_options.eps = 0.3;
+  solver_options.seed = 5;
+  Result<AllocationResult> solved =
+      SolverRegistry::Create("bundle-grd", solver_options)->Solve(problem);
+  if (!solved.ok()) {
+    std::printf("solve failed: %s\n", solved.status().ToString().c_str());
+    return 1;
+  }
+  const AllocationResult& grd = solved.value();
   const WelfareEstimate est =
       EstimateWelfare(graph, grd.allocation, params, 5000, 7);
   std::printf("\nbundleGRD welfare: %.1f ± %.1f "
               "(%.1f adopters, %.1f adoptions per world)\n",
-              est.welfare, est.stderr_, est.avg_adopters, est.avg_adoptions);
+              est.welfare, est.std_error, est.avg_adopters, est.avg_adoptions);
 
   // --- 6. Inspect one concrete possible world --------------------------
   Rng rng(123);

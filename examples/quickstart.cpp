@@ -1,18 +1,19 @@
-// Quickstart: build a network, define complementary items, run bundleGRD,
-// and estimate the expected social welfare of the resulting allocation.
+// Quickstart: build a network, define complementary items, run bundleGRD
+// through the unified Solver API, and estimate the expected social welfare
+// of the resulting allocation.
 //
 // This mirrors the end-to-end pipeline of the paper: a graph with
 // weighted-cascade influence probabilities, a supermodular valuation with
 // additive prices and zero-mean Gaussian noise, the budget-constrained
 // bundleGRD allocation (which never looks at the utilities), and
-// Monte-Carlo welfare estimation under the UIC diffusion model.
+// Monte-Carlo welfare estimation under the UIC diffusion model. Any other
+// registered algorithm is one string away (`SolverRegistry::ListSolvers`).
 #include <cstdio>
 
-#include "core/baselines.h"
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "exp/configs.h"
 #include "graph/generators.h"
+#include "solver/registry.h"
 
 int main() {
   using namespace uic;
@@ -24,31 +25,48 @@ int main() {
   graph.ApplyWeightedCascade();
   std::printf("network: %s\n", graph.Summary().c_str());
 
-  // 2. Two complementary items (Table 3, Configuration 1): both items are
-  // individually break-even but worth +1 together.
-  ItemParams params = MakeTwoItemConfig12();
+  // 2. The problem: two complementary items (Table 3, Configuration 1 —
+  // both individually break-even but worth +1 together), 30 seeds each.
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = MakeTwoItemConfig12();
+  problem.budgets = {30, 30};
 
-  // 3. Budgets: 30 seeds for each item.
-  const std::vector<uint32_t> budgets = {30, 30};
-
-  // 4. bundleGRD: one PRIMA ranking, every item seeded on its prefix.
-  AllocationResult grd = BundleGrd(graph, budgets, /*eps=*/0.5, /*ell=*/1.0,
-                                   /*seed=*/7);
+  // 3. bundleGRD by name: one PRIMA ranking, every item seeded on its
+  // prefix. Solve validates the problem and returns a Result instead of
+  // crashing on malformed input.
+  SolverOptions options;
+  options.eps = 0.5;
+  options.seed = 7;
+  auto solver = SolverRegistry::Create("bundle-grd", options);
+  Result<AllocationResult> solved = solver->Solve(problem);
+  if (!solved.ok()) {
+    std::printf("solve failed: %s\n", solved.status().ToString().c_str());
+    return 1;
+  }
+  const AllocationResult& grd = solved.value();
   std::printf("bundleGRD: %zu seed nodes, %zu RR sets, %.2f s\n",
               grd.allocation.num_seed_nodes(), grd.num_rr_sets, grd.seconds);
 
-  // 5. Estimate expected social welfare (and compare with item-disj).
+  // 4. Estimate expected social welfare (and compare with item-disj).
   const WelfareEstimate w_grd =
-      EstimateWelfare(graph, grd.allocation, params, /*num_simulations=*/500,
-                      /*seed=*/99);
-  AllocationResult disj = ItemDisjoint(graph, budgets, 0.5, 1.0, 7);
+      EstimateWelfare(graph, grd.allocation, *problem.params,
+                      /*num_simulations=*/500, /*seed=*/99);
+  Result<AllocationResult> disj_solved =
+      SolverRegistry::Create("item-disj", options)->Solve(problem);
+  if (!disj_solved.ok()) {
+    std::printf("solve failed: %s\n",
+                disj_solved.status().ToString().c_str());
+    return 1;
+  }
+  const AllocationResult& disj = disj_solved.value();
   const WelfareEstimate w_disj =
-      EstimateWelfare(graph, disj.allocation, params, 500, 99);
+      EstimateWelfare(graph, disj.allocation, *problem.params, 500, 99);
 
   std::printf("expected welfare  bundleGRD: %.1f ± %.1f\n", w_grd.welfare,
-              w_grd.stderr_);
+              w_grd.std_error);
   std::printf("expected welfare  item-disj: %.1f ± %.1f\n", w_disj.welfare,
-              w_disj.stderr_);
+              w_disj.std_error);
   std::printf("bundleGRD / item-disj = %.2fx\n",
               w_grd.welfare / (w_disj.welfare > 0 ? w_disj.welfare : 1.0));
   return 0;

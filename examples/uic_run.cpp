@@ -1,0 +1,337 @@
+// uic_run: the unified CLI driver over the solver registry.
+//
+// Loads or generates a network, builds a utility configuration, then runs
+// any registered allocation algorithm by name and prints a SuiteRow-style
+// report (welfare ± std error, wall-clock, RR sets). Every solver the
+// registry knows is reachable:
+//
+//   uic_run --list
+//   uic_run --algorithm bundle-grd --network douban-movie --budget 30
+//   uic_run --algorithm rr-cim --config config34 --budgets 20,40 --mc 500
+//   uic_run --algorithm bundle-grd --network er --nodes 500 --edges 3000
+//   uic_run --algorithm bdhs --bdhs-variant concave --network orkut
+//
+// Exit codes: 0 success, 1 solver/problem error (message on stderr),
+// 2 usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/serialization.h"
+#include "exp/configs.h"
+#include "exp/flags.h"
+#include "exp/networks.h"
+#include "exp/suite.h"
+#include "graph/generators.h"
+#include "solver/registry.h"
+
+namespace uic {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: uic_run --algorithm NAME [options]\n"
+    "       uic_run --list            (print registered solver names)\n"
+    "\n"
+    "network (generated stand-ins unless --graph is given):\n"
+    "  --graph PATH       load a graph saved with SaveGraph\n"
+    "  --network NAME     er | pa | flixster | douban-book | douban-movie |\n"
+    "                     twitter | orkut          (default douban-movie)\n"
+    "  --scale X          stand-in size multiplier  (default 0.3)\n"
+    "  --nodes N          er/pa node count          (default 2000)\n"
+    "  --edges M          er edge count             (default 6*nodes)\n"
+    "  --net-seed S       generator seed            (default 20190630)\n"
+    "  --p X              re-weight all edges to constant probability X\n"
+    "\n"
+    "items (utility configuration, Tables 3-5):\n"
+    "  --params PATH      load params saved with SaveItemParams\n"
+    "  --config NAME      config12 | config34 | additive | cone-max |\n"
+    "                     cone-min | levelwise | real | none\n"
+    "                     (default config12; 'none' skips welfare eval)\n"
+    "  --items S          item count for additive/cone/levelwise (default 2)\n"
+    "  --param-seed S     levelwise generation seed (default 8)\n"
+    "  --budget K         uniform per-item budget   (default 10)\n"
+    "  --budgets A,B,..   explicit per-item budgets (overrides --budget)\n"
+    "\n"
+    "solver:\n"
+    "  --eps X --ell X    sampling bounds           (default 0.5, 1.0)\n"
+    "  --seed S           solver RNG seed           (default 1)\n"
+    "  --workers N        threads, 0 = hardware     (default 0)\n"
+    "  --model M          ic | lt                   (default ic)\n"
+    "  --greedy-sims N    mc-greedy simulations/evaluation (default 200)\n"
+    "  --cim-sims N       rr-cim forward simulations       (default 200)\n"
+    "  --bdhs-variant V   step | concave            (default step)\n"
+    "  --kappa X          bdhs step isolation discount     (default 0)\n"
+    "  --uniform-p X      bdhs concave edge probability    (default 0.01)\n"
+    "\n"
+    "report:\n"
+    "  --mc N             welfare-evaluation simulations   (default 400)\n"
+    "  --eval-seed S      welfare-evaluation seed          (default 999)\n"
+    "  --save-allocation PATH   persist the allocation (SaveAllocation)\n";
+
+Result<std::vector<uint32_t>> ParseBudgetList(const std::string& list) {
+  std::vector<uint32_t> budgets;
+  std::string token;
+  for (size_t i = 0; i <= list.size(); ++i) {
+    if (i == list.size() || list[i] == ',') {
+      if (token.empty()) {
+        return Status::InvalidArgument("--budgets: empty entry in '" + list +
+                                       "'");
+      }
+      const unsigned long long parsed =
+          std::strtoull(token.c_str(), nullptr, 10);
+      if (parsed > UINT32_MAX) {
+        return Status::InvalidArgument("--budgets: '" + token +
+                                       "' is out of budget range");
+      }
+      budgets.push_back(static_cast<uint32_t>(parsed));
+      token.clear();
+    } else {
+      if (list[i] < '0' || list[i] > '9') {
+        return Status::InvalidArgument(
+            "--budgets: '" + list + "' is not a comma-separated integer list");
+      }
+      token += list[i];
+    }
+  }
+  return budgets;
+}
+
+Result<Graph> BuildNetwork(const Flags& flags) {
+  const double p = flags.GetDouble("p", 0.0);
+  const std::string path = flags.GetString("graph");
+  if (!path.empty()) {
+    Result<Graph> loaded = LoadGraph(path);
+    if (loaded.ok() && p > 0.0) loaded.value().ApplyConstantProbability(p);
+    return loaded;
+  }
+
+  const std::string name = flags.GetString("network", "douban-movie");
+  const double scale = flags.GetDouble("scale", 0.3);
+  const uint64_t seed = static_cast<uint64_t>(
+      flags.GetInt("net-seed", 20190630));
+  const long nodes_flag = flags.GetInt("nodes", 2000);
+  if (nodes_flag <= 0 || nodes_flag > UINT32_MAX) {
+    return Status::InvalidArgument("--nodes must be in [1, 2^32)");
+  }
+  const NodeId nodes = static_cast<NodeId>(nodes_flag);
+  const long edges_flag = flags.GetInt("edges", 6 * nodes_flag);
+  if (edges_flag < 0) {
+    return Status::InvalidArgument("--edges must be non-negative");
+  }
+  const size_t edges = static_cast<size_t>(edges_flag);
+
+  Graph graph;
+  if (name == "er") {
+    graph = GenerateErdosRenyi(nodes, edges, seed);
+    graph.ApplyWeightedCascade();
+  } else if (name == "pa") {
+    graph = GeneratePreferentialAttachment(nodes, /*out_per_node=*/5,
+                                           /*undirected=*/false, seed);
+    graph.ApplyWeightedCascade();
+  } else if (name == "flixster") {
+    graph = MakeFlixsterLike(seed, scale);
+  } else if (name == "douban-book") {
+    graph = MakeDoubanBookLike(seed, scale);
+  } else if (name == "douban-movie") {
+    graph = MakeDoubanMovieLike(seed, scale);
+  } else if (name == "twitter") {
+    graph = MakeTwitterLike(seed, scale);
+  } else if (name == "orkut") {
+    graph = MakeOrkutLike(seed, scale);
+  } else {
+    return Status::InvalidArgument("unknown --network '" + name + "'");
+  }
+  if (p > 0.0) graph.ApplyConstantProbability(p);
+  return graph;
+}
+
+Result<std::optional<ItemParams>> BuildParams(const Flags& flags,
+                                              ItemId items) {
+  const std::string path = flags.GetString("params");
+  if (!path.empty()) {
+    Result<ItemParams> loaded = LoadItemParams(path);
+    if (!loaded.ok()) return loaded.status();
+    return std::optional<ItemParams>(loaded.MoveValue());
+  }
+  const std::string config = flags.GetString("config", "config12");
+  // Deliberately NOT the solver --seed: sweeping solver seeds must not
+  // silently change the problem instance itself.
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("param-seed", 8));
+  if (config == "config12") return std::optional<ItemParams>(MakeTwoItemConfig12());
+  if (config == "config34") return std::optional<ItemParams>(MakeTwoItemConfig34());
+  if (config == "additive") {
+    return std::optional<ItemParams>(MakeAdditiveConfig5(items));
+  }
+  if (config == "cone-max") {
+    return std::optional<ItemParams>(MakeConeConfig67(items, 0));
+  }
+  if (config == "cone-min") {
+    return std::optional<ItemParams>(
+        MakeConeConfig67(items, static_cast<ItemId>(items - 1)));
+  }
+  if (config == "levelwise") {
+    return std::optional<ItemParams>(MakeLevelwiseConfig8(items, seed));
+  }
+  if (config == "real") {
+    return std::optional<ItemParams>(MakeRealPlaystationParams());
+  }
+  if (config == "none") return std::optional<ItemParams>();
+  return Status::InvalidArgument("unknown --config '" + config + "'");
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  if (flags.GetBool("list")) {
+    for (const std::string& name : SolverRegistry::ListSolvers()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  const std::string algorithm = flags.GetString("algorithm");
+  if (algorithm.empty() || flags.GetBool("help")) {
+    std::fputs(kUsage, stderr);
+    std::fputs("\nregistered solvers:", stderr);
+    for (const std::string& name : SolverRegistry::ListSolvers()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fputs("\n", stderr);
+    return algorithm.empty() && !flags.GetBool("help") ? 2 : 0;
+  }
+
+  // --- network ----------------------------------------------------------
+  Result<Graph> graph = BuildNetwork(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("network: %s\n", graph.value().Summary().c_str());
+
+  // --- items and budgets ------------------------------------------------
+  const std::string budget_list = flags.GetString("budgets");
+  std::vector<uint32_t> budgets;
+  if (!budget_list.empty()) {
+    Result<std::vector<uint32_t>> parsed = ParseBudgetList(budget_list);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "uic_run: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    budgets = parsed.MoveValue();
+  }
+
+  ItemId items = static_cast<ItemId>(flags.GetInt("items", 2));
+  if (!budgets.empty()) items = static_cast<ItemId>(budgets.size());
+
+  Result<std::optional<ItemParams>> params = BuildParams(flags, items);
+  if (!params.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  if (budgets.empty()) {
+    // Uniform budgets sized to the configuration (or --items for 'none').
+    const ItemId n = params.value().has_value()
+                         ? params.value()->num_items()
+                         : items;
+    budgets.assign(n, static_cast<uint32_t>(flags.GetInt("budget", 10)));
+  }
+
+  // --- solver options ---------------------------------------------------
+  SolverOptions options;
+  options.eps = flags.GetDouble("eps", 0.5);
+  options.ell = flags.GetDouble("ell", 1.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.workers = static_cast<unsigned>(flags.GetInt("workers", 0));
+  options.mc_greedy.simulations_per_eval =
+      static_cast<size_t>(flags.GetInt("greedy-sims", 200));
+  options.comic.cim_forward_simulations =
+      static_cast<size_t>(flags.GetInt("cim-sims", 200));
+  const std::string variant = flags.GetString("bdhs-variant", "step");
+  if (variant == "concave") {
+    options.bdhs.variant = BdhsVariant::kConcave;
+  } else if (variant != "step") {
+    std::fprintf(stderr, "uic_run: unknown --bdhs-variant '%s'\n",
+                 variant.c_str());
+    return 1;
+  }
+  options.bdhs.kappa = flags.GetDouble("kappa", 0.0);
+  options.bdhs.uniform_p = flags.GetDouble("uniform-p", 0.01);
+
+  WelfareProblem problem;
+  problem.graph = &graph.value();
+  problem.budgets = budgets;
+  problem.params = params.MoveValue();
+  const std::string model = flags.GetString("model", "ic");
+  if (model == "lt") {
+    problem.model = DiffusionModel::kLinearThreshold;
+  } else if (model != "ic") {
+    std::fprintf(stderr, "uic_run: unknown --model '%s'\n", model.c_str());
+    return 1;
+  }
+
+  // --- solve ------------------------------------------------------------
+  Result<std::unique_ptr<Solver>> solver =
+      SolverRegistry::CreateOrError(algorithm, options);
+  if (!solver.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", solver.status().ToString().c_str());
+    return 1;
+  }
+  Result<AllocationResult> solved = solver.value()->Solve(problem);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", solved.status().ToString().c_str());
+    return 1;
+  }
+  const AllocationResult& result = solved.value();
+
+  // --- report -----------------------------------------------------------
+  std::string setting = "b=";
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    setting += (i ? "," : "") + std::to_string(budgets[i]);
+  }
+
+  TablePrinter table({"algorithm", "setting", "welfare", "std error",
+                      "seconds", "rr sets", "seed nodes"});
+  if (problem.params.has_value()) {
+    const size_t mc = static_cast<size_t>(flags.GetInt("mc", 400));
+    const uint64_t eval_seed =
+        static_cast<uint64_t>(flags.GetInt("eval-seed", 999));
+    const SuiteRow row =
+        EvaluateRow(algorithm, setting, graph.value(), result,
+                    *problem.params, mc, eval_seed, options.workers);
+    table.AddRow({row.algorithm, row.setting,
+                  TablePrinter::Num(row.welfare, 2),
+                  TablePrinter::Num(row.welfare_std_error, 2),
+                  TablePrinter::Num(row.seconds, 3),
+                  TablePrinter::Int(static_cast<long long>(row.num_rr_sets)),
+                  TablePrinter::Int(static_cast<long long>(
+                      result.allocation.num_seed_nodes()))});
+  } else {
+    table.AddRow({algorithm, setting, "(no params)", "-",
+                  TablePrinter::Num(result.seconds, 3),
+                  TablePrinter::Int(static_cast<long long>(result.num_rr_sets)),
+                  TablePrinter::Int(static_cast<long long>(
+                      result.allocation.num_seed_nodes()))});
+  }
+  table.Print();
+  if (result.objective != 0.0) {
+    std::printf("solver-reported objective: %.2f\n", result.objective);
+  }
+
+  const std::string save_path = flags.GetString("save-allocation");
+  if (!save_path.empty()) {
+    const Status st = SaveAllocation(result.allocation, save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "uic_run: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("allocation saved to %s\n", save_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uic
+
+int main(int argc, char** argv) { return uic::Run(argc, argv); }

@@ -9,11 +9,10 @@
 // block structure that explains *why* bundleGRD wins.
 #include <cstdio>
 
-#include "core/baselines.h"
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "exp/configs.h"
 #include "exp/networks.h"
+#include "exp/suite.h"
 #include "welfare/block_accounting.h"
 
 int main() {
@@ -47,11 +46,16 @@ int main() {
                 blocks.effective_budgets[i]);
   }
 
-  // Three strategies.
-  const AllocationResult grd = BundleGrd(graph, budgets, 0.5, 1.0, 1);
-  const AllocationResult idisj = ItemDisjoint(graph, budgets, 0.5, 1.0, 1);
-  const AllocationResult bdisj =
-      BundleDisjoint(graph, budgets, params, 0.5, 1.0, 1);
+  // Three strategies, all through the unified solver registry.
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
+  problem.budgets = budgets;
+  SolverOptions options;
+  options.seed = 1;
+  const AllocationResult grd = MustSolve("bundle-grd", problem, options);
+  const AllocationResult idisj = MustSolve("item-disj", problem, options);
+  const AllocationResult bdisj = MustSolve("bundle-disj", problem, options);
 
   std::printf("\n%-12s %12s %12s %12s\n", "strategy", "welfare",
               "adopters", "time(ms)");

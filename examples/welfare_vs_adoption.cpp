@@ -8,9 +8,9 @@
 // both strategies, illustrating the paper's motivation (§1, §3.3).
 #include <cstdio>
 
-#include "core/bundle_grd.h"
 #include "diffusion/uic_model.h"
 #include "exp/networks.h"
+#include "exp/suite.h"
 #include "items/supermodular_generators.h"
 
 int main() {
@@ -31,10 +31,17 @@ int main() {
   const ItemParams params(value, prices,
                           NoiseModel::IidGaussian(3, 0.05));
 
+  WelfareProblem problem;
+  problem.graph = &graph;
+  problem.params = params;
+  SolverOptions options;
+  options.seed = 3;
   // Strategy A: blanket the network with the cheap gadget (200 seeds).
-  const AllocationResult gadget = BundleGrd(graph, {200, 0, 0}, 0.5, 1.0, 3);
+  problem.budgets = {200, 0, 0};
+  const AllocationResult gadget = MustSolve("bundle-grd", problem, options);
   // Strategy B: seed the premium bundle on a small influential set (5).
-  const AllocationResult bundle = BundleGrd(graph, {0, 5, 5}, 0.5, 1.0, 3);
+  problem.budgets = {0, 5, 5};
+  const AllocationResult bundle = MustSolve("bundle-grd", problem, options);
 
   std::printf("%-22s %14s %14s\n", "strategy", "E[adopters]",
               "E[welfare]");

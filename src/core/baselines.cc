@@ -26,7 +26,7 @@ std::vector<ItemId> ItemsByBudgetDesc(const std::vector<uint32_t>& budgets) {
 AllocationResult ItemDisjoint(const Graph& graph,
                               const std::vector<uint32_t>& budgets,
                               double eps, double ell, uint64_t seed,
-                              unsigned workers) {
+                              unsigned workers, RrOptions rr_options) {
   WallTimer timer;
   AllocationResult result;
   size_t total = 0;
@@ -34,7 +34,7 @@ AllocationResult ItemDisjoint(const Graph& graph,
   if (total == 0) return result;
   total = std::min<size_t>(total, graph.num_nodes());
 
-  ImResult imm = Imm(graph, total, eps, ell, seed, workers);
+  ImResult imm = Imm(graph, total, eps, ell, seed, workers, {}, rr_options);
   result.num_rr_sets = imm.num_rr_sets;
   result.ranking = imm.seeds;
 
@@ -55,7 +55,7 @@ AllocationResult BundleDisjoint(const Graph& graph,
                                 const std::vector<uint32_t>& budgets,
                                 const ItemParams& params, double eps,
                                 double ell, uint64_t seed,
-                                unsigned workers) {
+                                unsigned workers, RrOptions rr_options) {
   WallTimer timer;
   AllocationResult result;
   UIC_CHECK_EQ(budgets.size(), params.num_items());
@@ -99,7 +99,8 @@ AllocationResult BundleDisjoint(const Graph& graph,
     }
 
     ImResult imm = Imm(graph, bundle_budget, eps, ell,
-                       seed + 0x9e37 * (++call_counter), workers, used);
+                       seed + 0x9e37 * (++call_counter), workers, used,
+                       rr_options);
     result.num_rr_sets += imm.num_rr_sets;
     std::vector<NodeId> seeds(imm.seeds.begin(),
                               imm.seeds.begin() +
@@ -137,7 +138,7 @@ AllocationResult BundleDisjoint(const Graph& graph,
     }
     if (want == 0) continue;
     ImResult imm = Imm(graph, want, eps, ell, seed + 0x9e37 * (++call_counter),
-                       workers, used);
+                       workers, used, rr_options);
     result.num_rr_sets += imm.num_rr_sets;
     for (size_t c = 0; c < want && c < imm.seeds.size(); ++c) {
       result.allocation.AddItem(imm.seeds[c], i);

@@ -18,7 +18,8 @@ namespace uic {
 AllocationResult ItemDisjoint(const Graph& graph,
                               const std::vector<uint32_t>& budgets,
                               double eps, double ell, uint64_t seed,
-                              unsigned workers = 0);
+                              unsigned workers = 0,
+                              RrOptions rr_options = {});
 
 /// \brief bundle-disj: bundles on disjoint seed sets.
 ///
@@ -33,6 +34,7 @@ AllocationResult BundleDisjoint(const Graph& graph,
                                 const std::vector<uint32_t>& budgets,
                                 const ItemParams& params, double eps,
                                 double ell, uint64_t seed,
-                                unsigned workers = 0);
+                                unsigned workers = 0,
+                                RrOptions rr_options = {});
 
 }  // namespace uic

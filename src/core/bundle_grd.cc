@@ -9,13 +9,12 @@ namespace uic {
 AllocationResult BundleGrd(const Graph& graph,
                            const std::vector<uint32_t>& budgets, double eps,
                            double ell, uint64_t seed, unsigned workers,
-                           DiffusionModel model) {
+                           DiffusionModel model, RrOptions rr_options) {
   WallTimer timer;
   AllocationResult result;
   if (budgets.empty()) return result;
 
-  RrOptions rr_options;
-  rr_options.linear_threshold = model == DiffusionModel::kLinearThreshold;
+  rr_options.linear_threshold |= model == DiffusionModel::kLinearThreshold;
 
   // Line 2: one prefix-preserving ranking for the maximum budget.
   ImResult prima = Prima(graph, budgets, eps, ell, seed, workers, {},

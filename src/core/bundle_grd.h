@@ -26,6 +26,10 @@ struct AllocationResult {
   double seconds = 0.0;       ///< wall-clock of the whole algorithm
   size_t num_rr_sets = 0;     ///< total RR sets generated (memory proxy)
   std::vector<NodeId> ranking;///< underlying seed ranking, when meaningful
+  /// Objective value the solver itself reports, when it computes one (BDHS
+  /// reports its externality-model benchmark welfare); 0 otherwise. The
+  /// UIC welfare of `allocation` is always obtained via EstimateWelfare.
+  double objective = 0.0;
 };
 
 /// Propagation model for seed selection (UIC results hold for any
@@ -36,10 +40,14 @@ enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
 ///
 /// `budgets[i]` is item i's seed budget b_i. The allocation assigns item i
 /// to the top-b_i nodes of the PRIMA ranking. Utilities are *not* inputs.
+/// `rr_options` tunes the underlying RR sampling; selecting
+/// `DiffusionModel::kLinearThreshold` implies LT sampling regardless of
+/// `rr_options.linear_threshold`.
 AllocationResult BundleGrd(const Graph& graph,
                            const std::vector<uint32_t>& budgets, double eps,
                            double ell, uint64_t seed, unsigned workers = 0,
                            DiffusionModel model =
-                               DiffusionModel::kIndependentCascade);
+                               DiffusionModel::kIndependentCascade,
+                           RrOptions rr_options = {});
 
 }  // namespace uic

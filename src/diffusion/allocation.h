@@ -30,6 +30,13 @@ class Allocation {
 
   void AddItem(NodeId node, ItemId item) { Add(node, ItemBit(item)); }
 
+  /// Append an entry for a node known not to be present yet. O(1), unlike
+  /// `Add`'s linear probe — the bulk-build path for allocations covering
+  /// most of the graph (e.g. BDHS assigns a bundle to every node).
+  void AppendNew(NodeId node, ItemSet items) {
+    entries_.emplace_back(node, items);
+  }
+
   /// Build from per-item seed lists: `seeds_per_item[i]` are the seeds of
   /// item i (S_i in the paper).
   static Allocation FromSeedSets(

@@ -197,7 +197,7 @@ WelfareEstimate EstimateWelfareLt(const Graph& graph,
   estimate.welfare = total.sum / n;
   const double var =
       n > 1 ? (total.sum_sq - total.sum * total.sum / n) / (n - 1) : 0.0;
-  estimate.stderr_ = var > 0 ? std::sqrt(var / n) : 0.0;
+  estimate.std_error = var > 0 ? std::sqrt(var / n) : 0.0;
   estimate.avg_adopters = total.adopters / n;
   estimate.avg_adoptions = total.adoptions / n;
   return estimate;

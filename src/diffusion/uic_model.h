@@ -84,7 +84,7 @@ class UicSimulator {
 /// Deterministic in (`seed`, `workers`).
 struct WelfareEstimate {
   double welfare = 0.0;        ///< mean of ρ_W over sampled worlds
-  double stderr_ = 0.0;        ///< standard error of the mean
+  double std_error = 0.0;        ///< standard error of the mean
   double avg_adopters = 0.0;   ///< mean #nodes adopting ≥ 1 item
   double avg_adoptions = 0.0;  ///< mean Σ_v |A_v|
 };

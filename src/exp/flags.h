@@ -48,6 +48,12 @@ class Flags {
     return parsed;
   }
 
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const {
+    const char* v = Find(name);
+    return v ? std::string(v) : def;
+  }
+
   bool GetBool(const std::string& name, bool def = false) const {
     for (int i = 1; i < argc_; ++i) {
       if (std::string(argv_[i]) == "--" + name) return true;

@@ -1,0 +1,93 @@
+#include "solver/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace uic {
+
+namespace {
+
+std::string Lowercase(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// name (lowercase) → factory. std::map keeps ListSolvers sorted.
+std::map<std::string, SolverRegistry::Factory>& Factories() {
+  static std::map<std::string, SolverRegistry::Factory> map;
+  return map;
+}
+
+void EnsureBuiltins() {
+  static const bool once = [] {
+    detail::RegisterBuiltinSolvers();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+std::unique_ptr<Solver> SolverRegistry::Create(const std::string& name,
+                                               const SolverOptions& options) {
+  EnsureBuiltins();
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto& factories = Factories();
+    auto it = factories.find(Lowercase(name));
+    if (it == factories.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+Result<std::unique_ptr<Solver>> SolverRegistry::CreateOrError(
+    const std::string& name, const SolverOptions& options) {
+  std::unique_ptr<Solver> solver = Create(name, options);
+  if (solver != nullptr) return solver;
+  std::string known;
+  for (const std::string& n : ListSolvers()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound("no solver named '" + name +
+                          "' (registered: " + known + ")");
+}
+
+std::vector<std::string> SolverRegistry::ListSolvers() {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(Factories().size());
+  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  return names;
+}
+
+bool SolverRegistry::Register(const std::string& name, Factory factory) {
+  EnsureBuiltins();
+  return detail::RegisterSolverFactory(name, std::move(factory));
+}
+
+namespace detail {
+
+bool RegisterSolverFactory(const std::string& name,
+                           SolverRegistry::Factory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return Factories().emplace(Lowercase(name), std::move(factory)).second;
+}
+
+}  // namespace detail
+
+}  // namespace uic

@@ -1,0 +1,77 @@
+#include "solver/solver.h"
+
+#include <string>
+
+#include "items/itemset.h"
+
+namespace uic {
+
+namespace {
+
+std::string Describe(size_t v) { return std::to_string(v); }
+
+}  // namespace
+
+Status Solver::Validate(const WelfareProblem& problem) const {
+  if (problem.graph == nullptr) {
+    return Status::InvalidArgument("problem.graph is null");
+  }
+  if (problem.graph->num_nodes() == 0) {
+    return Status::InvalidArgument("problem.graph is empty");
+  }
+  if (problem.budgets.empty()) {
+    return Status::InvalidArgument("problem.budgets is empty");
+  }
+  if (problem.budgets.size() > kMaxItems) {
+    return Status::InvalidArgument(
+        "problem has " + Describe(problem.budgets.size()) +
+        " items; the itemset representation supports at most " +
+        Describe(kMaxItems));
+  }
+  for (size_t i = 0; i < problem.budgets.size(); ++i) {
+    if (problem.budgets[i] > problem.graph->num_nodes()) {
+      return Status::OutOfRange(
+          "budgets[" + Describe(i) + "] = " + Describe(problem.budgets[i]) +
+          " exceeds the number of nodes (" +
+          Describe(problem.graph->num_nodes()) + ")");
+    }
+  }
+  if (problem.params.has_value() &&
+      problem.params->num_items() != problem.budgets.size()) {
+    return Status::InvalidArgument(
+        "problem.params has " + Describe(problem.params->num_items()) +
+        " items but problem.budgets has " + Describe(problem.budgets.size()));
+  }
+  if (options_.eps <= 0.0) {
+    return Status::InvalidArgument("options.eps must be positive");
+  }
+  if (options_.ell <= 0.0) {
+    return Status::InvalidArgument("options.ell must be positive");
+  }
+
+  const Traits t = traits();
+  if (t.needs_params && !problem.params.has_value()) {
+    return Status::FailedPrecondition(
+        "solver '" + name() +
+        "' requires the utility configuration (problem.params)");
+  }
+  if (t.two_items_only && problem.budgets.size() != 2) {
+    return Status::InvalidArgument(
+        "solver '" + name() + "' supports exactly two items, got " +
+        Describe(problem.budgets.size()));
+  }
+  if (!t.supports_linear_threshold &&
+      problem.model == DiffusionModel::kLinearThreshold) {
+    return Status::InvalidArgument(
+        "solver '" + name() + "' does not support the linear-threshold model");
+  }
+  return Status::OK();
+}
+
+Result<AllocationResult> Solver::Solve(const WelfareProblem& problem) {
+  Status st = Validate(problem);
+  if (!st.ok()) return st;
+  return SolveValidated(problem);
+}
+
+}  // namespace uic

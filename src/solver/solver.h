@@ -1,0 +1,68 @@
+// The abstract Solver contract: one stable interface in front of the
+// seven allocation algorithms of §6 (and any future ones).
+//
+//   auto solver = SolverRegistry::Create("bundle-grd", options);
+//   Result<AllocationResult> r = solver->Solve(problem);
+//
+// Solve validates the problem against the solver's declared requirements
+// (utility params needed? two items only? LT supported?) and returns a
+// Status instead of crashing on malformed input; the legacy free functions
+// remain as the thin internal implementations the adapters call.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "solver/problem.h"
+
+namespace uic {
+
+/// \brief Base class for all allocation solvers.
+///
+/// A Solver is cheap to construct (no per-instance state beyond options)
+/// and stateless across Solve calls: the same (problem, options) always
+/// yields the same allocation.
+class Solver {
+ public:
+  /// Static requirements a concrete solver declares; `Solve` checks the
+  /// problem against them before dispatching.
+  struct Traits {
+    /// Rejects problems without `params` (FailedPrecondition).
+    bool needs_params = false;
+    /// Supports exactly two items (the Com-IC baselines; extending Com-IC
+    /// beyond two items needs exponentially many NLA parameters).
+    bool two_items_only = false;
+    /// Accepts DiffusionModel::kLinearThreshold.
+    bool supports_linear_threshold = false;
+  };
+
+  explicit Solver(SolverOptions options) : options_(std::move(options)) {}
+  virtual ~Solver() = default;
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Registry name of this solver (e.g. "bundle-grd").
+  virtual const std::string& name() const = 0;
+
+  virtual Traits traits() const = 0;
+
+  /// Validate `problem`, then run the algorithm. Never crashes on
+  /// malformed input; returns InvalidArgument / FailedPrecondition /
+  /// OutOfRange with a message naming the offending field.
+  Result<AllocationResult> Solve(const WelfareProblem& problem);
+
+  const SolverOptions& options() const { return options_; }
+
+ protected:
+  /// The algorithm itself; `problem` has already passed Validate.
+  virtual Result<AllocationResult> SolveValidated(
+      const WelfareProblem& problem) = 0;
+
+ private:
+  Status Validate(const WelfareProblem& problem) const;
+
+  SolverOptions options_;
+};
+
+}  // namespace uic

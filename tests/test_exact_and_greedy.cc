@@ -87,7 +87,7 @@ TEST_P(McVsExactTest, EstimatorConvergesToEnumeration) {
   const double exact = ExactWelfareByEnumeration(g, alloc, table);
   const WelfareEstimate mc = EstimateWelfare(g, alloc, params, 60000,
                                              GetParam() ^ 0xabcd, 4);
-  EXPECT_NEAR(mc.welfare, exact, 4.0 * mc.stderr_ + 0.02)
+  EXPECT_NEAR(mc.welfare, exact, 4.0 * mc.std_error + 0.02)
       << "seed " << GetParam();
 }
 
