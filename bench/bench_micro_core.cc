@@ -91,6 +91,65 @@ void BM_NodeSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeSelection)->Arg(10000)->Arg(50000);
 
+// --- RR engine scaling benchmarks (ISSUE 3) ---------------------------
+// Args: (workers, pool size). These measure the two halves of the hot
+// path PRIMA/IMM spend nearly all their time in, at worker counts
+// {1, 4, 8} and pool sizes {10k, 100k}, so thread-pool and index
+// regressions are visible in isolation.
+
+void BM_GenerateUntil(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  const size_t target = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    RrCollection pool(g, 7, workers);
+    pool.GenerateUntil(target);
+    benchmark::DoNotOptimize(pool.TotalNodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target));
+}
+BENCHMARK(BM_GenerateUntil)
+    ->ArgsProduct({{1, 4, 8}, {10000, 100000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NodeSelectionScaling(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  const size_t target = static_cast<size_t>(state.range(1));
+  RrCollection pool(g, 7, workers);
+  pool.GenerateUntil(target);
+  for (auto _ : state) {
+    const SeedSelection sel = NodeSelection(pool, 50);
+    benchmark::DoNotOptimize(sel.seeds.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target));
+}
+BENCHMARK(BM_NodeSelectionScaling)
+    ->ArgsProduct({{1, 4, 8}, {10000, 100000}})
+    ->Unit(benchmark::kMillisecond);
+
+// Generation + selection end to end: the complete RR round a PRIMA phase
+// executes. The index-maintenance refactor shifts work from selection
+// into generation; this is the number that must not regress overall.
+void BM_GenerateAndSelect(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const unsigned workers = static_cast<unsigned>(state.range(0));
+  const size_t target = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    RrCollection pool(g, 7, workers);
+    pool.GenerateUntil(target);
+    const SeedSelection sel = NodeSelection(pool, 50);
+    benchmark::DoNotOptimize(sel.seeds.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target));
+}
+BENCHMARK(BM_GenerateAndSelect)
+    ->ArgsProduct({{1, 4, 8}, {10000, 100000}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GraphGeneration(benchmark::State& state) {
   for (auto _ : state) {
     Graph g = GeneratePreferentialAttachment(

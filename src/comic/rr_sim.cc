@@ -58,12 +58,15 @@ AllocationResult SelectWithNodeCoins(const Graph& graph,
   }
 
   const double theta = LambdaTim(n, budget1, eps, ell) / lb;
-  RrCollection final_pool(graph, seed ^ 0xc1a0u, workers, rr_options);
-  final_pool.GenerateUntil(
+  // Final pass on the same engine instance under a fresh seed (the bound
+  // requires sets sampled after θ was fixed).
+  const size_t doubling_rr_sets = pool.size();
+  pool.Reset(seed ^ 0xc1a0u);
+  pool.GenerateUntil(
       std::max<size_t>(1, static_cast<size_t>(std::ceil(theta))));
-  SeedSelection final_sel = NodeSelection(final_pool, budget1);
+  SeedSelection final_sel = NodeSelection(pool, budget1);
 
-  result.num_rr_sets = pool.size() + final_pool.size();
+  result.num_rr_sets = doubling_rr_sets + pool.size();
   result.ranking = final_sel.seeds;
   for (size_t r = 0; r < final_sel.seeds.size() && r < budget1; ++r) {
     result.allocation.AddItem(final_sel.seeds[r], 0);

@@ -1,46 +1,26 @@
-// Deterministic fork-join parallelism helpers.
+// Deterministic data-parallel helpers.
 //
-// `ParallelFor` partitions [0, n) into `workers` contiguous chunks, each
-// processed on its own thread. Callers that need randomness derive one RNG
-// stream per worker via Rng::Split so results are reproducible for a fixed
-// worker count.
+// `ParallelFor` partitions [0, n) into `workers` contiguous chunks and runs
+// them on the process-wide persistent `ThreadPool` (see thread_pool.h) —
+// no threads are spawned per call. Callers that need randomness derive one
+// RNG stream per *logical* worker via Rng::Split, so results are
+// reproducible for a fixed worker count regardless of the pool's physical
+// thread count.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace uic {
 
-/// Number of workers to use by default (bounded to keep experiment variance
-/// and scheduling noise low on shared machines).
-inline unsigned DefaultWorkers() {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 4;
-  return hw > 16 ? 16 : hw;
-}
-
-/// \brief Run `fn(worker_index, begin, end)` over a partition of [0, n).
+/// \brief Run `fn(worker_index, begin, end)` over a partition of [0, n) on
+/// the shared thread pool.
 inline void ParallelFor(
     size_t n, unsigned workers,
     const std::function<void(unsigned, size_t, size_t)>& fn) {
-  if (n == 0) return;
-  if (workers <= 1 || n < 2) {
-    fn(0, 0, n);
-    return;
-  }
-  if (workers > n) workers = static_cast<unsigned>(n);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const size_t chunk = (n + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const size_t begin = static_cast<size_t>(w) * chunk;
-    const size_t end = begin + chunk < n ? begin + chunk : n;
-    if (begin >= end) break;
-    threads.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
-  }
-  for (auto& t : threads) t.join();
+  ThreadPool::Shared().ParallelFor(n, workers, fn);
 }
 
 }  // namespace uic

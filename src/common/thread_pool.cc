@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+namespace uic {
+
+namespace {
+
+/// True while the current thread is executing a pool task; used to run
+/// nested ParallelFor calls inline instead of deadlocking on the queue.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = DefaultWorkers();
+  threads_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::RunChunks(Call& call) {
+  while (true) {
+    const unsigned c = call.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= call.total_chunks) return;
+    const size_t begin = static_cast<size_t>(c) * call.chunk;
+    size_t end = begin + call.chunk;
+    if (end > call.n) end = call.n;
+    (*call.fn)(c, begin, end);
+    if (call.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        call.total_chunks) {
+      // Lock pairs with the waiter's predicate check to avoid a missed
+      // wakeup between its check and its wait.
+      std::lock_guard<std::mutex> lock(call.m);
+      call.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  while (true) {
+    std::shared_ptr<Call> call;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      call = queue_.front();
+      if (call->next.load(std::memory_order_relaxed) >= call->total_chunks) {
+        // Fully claimed (possibly still running on other threads): retire
+        // it from the queue and look for the next call.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    RunChunks(*call);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, unsigned workers,
+    const std::function<void(unsigned, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  if (workers <= 1 || n < 2) {
+    fn(0, 0, n);
+    return;
+  }
+  const size_t chunk = (n + workers - 1) / workers;
+  const unsigned total_chunks = static_cast<unsigned>((n + chunk - 1) / chunk);
+  if (t_in_pool_worker || threads_.empty()) {
+    // Nested call (or poolless instance): same partition, run inline.
+    for (unsigned w = 0; w < total_chunks; ++w) {
+      const size_t begin = static_cast<size_t>(w) * chunk;
+      const size_t end = begin + chunk < n ? begin + chunk : n;
+      fn(w, begin, end);
+    }
+    return;
+  }
+  auto call = std::make_shared<Call>();
+  call->fn = &fn;
+  call->n = n;
+  call->chunk = chunk;
+  call->total_chunks = total_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(call);
+  }
+  work_cv_.notify_all();
+  RunChunks(*call);  // the caller is one more worker
+  {
+    std::unique_lock<std::mutex> lock(call->m);
+    call->done_cv.wait(lock, [&] {
+      return call->done.load(std::memory_order_acquire) >= call->total_chunks;
+    });
+  }
+  {
+    // Retire the call if no worker got to it (e.g. the caller ran every
+    // chunk before any pool thread woke up).
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!queue_.empty() && queue_.front() == call) queue_.pop_front();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultWorkers());
+  return pool;
+}
+
+}  // namespace uic

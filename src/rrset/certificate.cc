@@ -58,20 +58,13 @@ SpreadCertificate CertifySeedSet(const Graph& graph,
       CoverageUpperBound(greedy_cover / (1.0 - 1.0 / 2.718281828459045),
                          theta, n, log_term);
 
-  // Pool 2 (independent): lower-bound σ(S) by S's own coverage.
+  // Pool 2 (independent): lower-bound σ(S) by S's own coverage, counted
+  // through the maintained index (cost Σ_{v∈S} IndexDegree(v) instead of
+  // a scan over every sampled node).
   RrCollection pool2(graph, seed ^ 0x0502u, workers, rr_options);
   pool2.GenerateUntil(num_rr_sets);
-  std::vector<uint8_t> is_seed(graph.num_nodes(), 0);
-  for (NodeId v : seeds) is_seed[v] = 1;
-  double covered = 0.0;
-  for (size_t r = 0; r < pool2.size(); ++r) {
-    for (NodeId v : pool2.Set(r)) {
-      if (is_seed[v]) {
-        covered += 1.0;
-        break;
-      }
-    }
-  }
+  const double covered =
+      static_cast<double>(CountCoveredSets(pool2, seeds));
   cert.spread_lower = CoverageLowerBound(covered, theta, n, log_term);
   cert.opt_upper = std::min(opt_cover_ub, n);
   cert.ratio = cert.opt_upper > 0.0 ? cert.spread_lower / cert.opt_upper : 0.0;

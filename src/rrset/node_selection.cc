@@ -15,23 +15,9 @@ SeedSelection NodeSelection(const RrCollection& collection, size_t k,
   SeedSelection result;
   if (num_sets == 0 || k == 0) return result;
 
-  // Inverted index: node -> RR set ids containing it.
-  std::vector<uint32_t> deg(n, 0);
-  for (size_t r = 0; r < num_sets; ++r) {
-    for (NodeId v : collection.Set(r)) ++deg[v];
-  }
-  std::vector<size_t> node_off(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) node_off[v + 1] = node_off[v] + deg[v];
-  std::vector<uint32_t> node_sets(node_off[n]);
-  {
-    std::vector<size_t> cursor(node_off.begin(), node_off.end() - 1);
-    for (size_t r = 0; r < num_sets; ++r) {
-      for (NodeId v : collection.Set(r)) {
-        node_sets[cursor[v]++] = static_cast<uint32_t>(r);
-      }
-    }
-  }
-
+  // The node→RR-set inverted index is maintained by the collection itself
+  // (extended on every growth round), so selection starts immediately —
+  // no per-call index build.
   std::vector<uint8_t> banned(n, 0);
   for (NodeId v : excluded) banned[v] = 1;
 
@@ -46,50 +32,43 @@ SeedSelection NodeSelection(const RrCollection& collection, size_t k,
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   for (NodeId v = 0; v < n; ++v) {
-    if (deg[v] > 0 && !banned[v]) heap.push({deg[v], v});
+    if (collection.IndexDegree(v) > 0 && !banned[v]) {
+      heap.push({collection.IndexDegree(v), v});
+    }
   }
 
   size_t covered_count = 0;
-  std::vector<uint32_t> fresh_gain(n);
-  for (NodeId v = 0; v < n; ++v) fresh_gain[v] = deg[v];
   std::vector<uint32_t> stamp(n, 0);  // round at which gain was refreshed
   uint32_t round = 0;
 
   while (result.seeds.size() < k && !heap.empty()) {
-    auto [gain, v] = heap.top();
+    const NodeId v = heap.top().second;
     heap.pop();
     if (selected[v]) continue;
     if (stamp[v] != round) {
       // Recompute the exact marginal gain.
       uint32_t g = 0;
-      for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
-        g += covered[node_sets[idx]] == 0;
-      }
-      fresh_gain[v] = g;
+      collection.ForEachSetContaining(
+          v, [&](uint32_t r) { g += covered[r] == 0; });
       stamp[v] = round;
       if (!heap.empty() && g < heap.top().first) {
         if (g > 0) heap.push({g, v});
         continue;
       }
-      gain = g;
     }
-    // Select v.
+    // Select v. (Once all remaining gains hit zero, the heap tie-break
+    // keeps selecting by ascending node id, so the loop still fills k.)
     selected[v] = 1;
-    for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
-      const uint32_t r = node_sets[idx];
+    collection.ForEachSetContaining(v, [&](uint32_t r) {
       if (!covered[r]) {
         covered[r] = 1;
         ++covered_count;
       }
-    }
+    });
     ++round;
     result.seeds.push_back(v);
     result.coverage.push_back(static_cast<double>(covered_count) /
                               static_cast<double>(num_sets));
-    if (gain == 0) {
-      // All remaining gains are zero; selection order among zero-gain
-      // nodes is by node id (heap tie-break), keep going to fill k.
-    }
   }
   // If the graph ran out of positive-gain nodes, pad with unselected,
   // non-excluded nodes (lowest id first) so callers always get k seeds
@@ -103,6 +82,21 @@ SeedSelection NodeSelection(const RrCollection& collection, size_t k,
     }
   }
   return result;
+}
+
+size_t CountCoveredSets(const RrCollection& collection,
+                        const std::vector<NodeId>& seeds) {
+  std::vector<uint8_t> covered(collection.size(), 0);
+  size_t count = 0;
+  for (NodeId v : seeds) {
+    collection.ForEachSetContaining(v, [&](uint32_t r) {
+      if (!covered[r]) {
+        covered[r] = 1;
+        ++count;
+      }
+    });
+  }
+  return count;
 }
 
 }  // namespace uic

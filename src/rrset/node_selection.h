@@ -24,8 +24,17 @@ struct SeedSelection {
 /// \brief Greedy max-cover of `k` nodes over the RR pool.
 ///
 /// `excluded` nodes are never selected (used by the disjoint baselines).
-/// Lazy-greedy (CELF) with exact re-evaluation on pop.
+/// Lazy-greedy (CELF) with exact re-evaluation on pop, running straight
+/// off the collection's incrementally maintained node→RR-set index (no
+/// per-call index build).
 SeedSelection NodeSelection(const RrCollection& collection, size_t k,
                             const std::vector<NodeId>& excluded = {});
+
+/// \brief Number of RR sets in `collection` containing at least one node
+/// of `seeds` (the coverage numerator of σ̂(S) = n · covered / |R|).
+/// Uses the maintained index: cost is Σ_{v∈S} IndexDegree(v), not
+/// TotalNodes().
+size_t CountCoveredSets(const RrCollection& collection,
+                        const std::vector<NodeId>& seeds);
 
 }  // namespace uic

@@ -95,24 +95,25 @@ ImResult Prima(const Graph& graph, const std::vector<uint32_t>& budgets_in,
 
   // Regeneration fix: the guarantee requires the final NodeSelection to run
   // on RR sets whose count was fixed *before* sampling them. Regenerate the
-  // pool from scratch at the determined size.
+  // pool from scratch at the determined size — reusing the same engine
+  // instance (arenas, index, thread pool) under a fresh seed.
   double theta_final = theta_max;
   if (theta_final <= 0.0) theta_final = static_cast<double>(pool.size());
   const size_t final_count =
       std::max<size_t>(1, static_cast<size_t>(std::ceil(theta_final)));
-  RrCollection fresh(graph, seed ^ 0x5bf03635u, workers, rr_options);
+  pool.Reset(seed ^ 0x5bf03635u);
   sampling_timer.Restart();
-  fresh.GenerateUntil(final_count);
+  pool.GenerateUntil(final_count);
   sampling_seconds += sampling_timer.ElapsedSeconds();
 
   WallTimer sel_timer;
-  SeedSelection sel = NodeSelection(fresh, b, excluded);
+  SeedSelection sel = NodeSelection(pool, b, excluded);
   selection_seconds += sel_timer.ElapsedSeconds();
 
   result.seeds = std::move(sel.seeds);
   result.coverage = std::move(sel.coverage);
-  result.num_rr_sets = fresh.size();
-  result.total_rr_nodes = fresh.TotalNodes();
+  result.num_rr_sets = pool.size();
+  result.total_rr_nodes = pool.TotalNodes();
   result.sampling_seconds = sampling_seconds;
   result.selection_seconds = selection_seconds;
   return result;

@@ -1,7 +1,7 @@
 #include "rrset/rr_collection.h"
 
 #include "common/check.h"
-#include "common/parallel.h"
+#include "common/thread_pool.h"
 
 namespace uic {
 
@@ -83,52 +83,191 @@ size_t RrSampler::SampleRootedInto(NodeId root, Rng& rng,
 }
 
 RrCollection::RrCollection(const Graph& graph, uint64_t seed,
-                           unsigned workers, RrOptions options)
-    : graph_(graph), options_(options), workers_(workers) {
+                           unsigned workers, RrOptions options,
+                           ThreadPool* pool)
+    : graph_(graph), options_(options), workers_(workers), pool_(pool) {
   if (workers_ == 0) workers_ = DefaultWorkers();
+  if (pool_ == nullptr) pool_ = &ThreadPool::Shared();
+  SeedStreams(seed);
+  index_degree_.assign(graph_.num_nodes(), 0);
+}
+
+void RrCollection::SeedStreams(uint64_t seed) {
+  streams_.clear();
   streams_.reserve(workers_);
   for (unsigned w = 0; w < workers_; ++w) {
     streams_.push_back(Rng::Split(seed, w));
   }
-  offsets_.push_back(0);
 }
 
 void RrCollection::Clear() {
-  offsets_.assign(1, 0);
-  nodes_.clear();
+  sets_.clear();
+  arenas_.clear();
+  total_nodes_ = 0;
   edges_examined_ = 0;
+  index_.clear();
+  index_degree_.assign(graph_.num_nodes(), 0);
+}
+
+void RrCollection::Reset(uint64_t seed) {
+  Clear();
+  SeedStreams(seed);
 }
 
 void RrCollection::GenerateUntil(size_t target) {
   if (target <= size()) return;
   const size_t need = target - size();
-  // Each worker samples a deterministic slice using its persistent stream;
-  // results are appended in worker order so the pool content depends only
-  // on (seed, workers) and the sequence of targets.
+  // Each logical worker samples a deterministic slice into its own arena
+  // using its persistent stream; arenas are appended in worker order so
+  // the pool content depends only on (seed, workers) and the sequence of
+  // targets — never on scheduling or the physical thread count.
   struct WorkerOut {
-    std::vector<size_t> sizes;
+    std::vector<uint32_t> sizes;
     std::vector<NodeId> nodes;
     size_t edges = 0;
   };
   std::vector<WorkerOut> outs(workers_);
-  ParallelFor(need, workers_, [&](unsigned w, size_t begin, size_t end) {
+  pool_->ParallelFor(need, workers_, [&](unsigned w, size_t begin, size_t end) {
     RrSampler sampler(graph_, options_);
     WorkerOut& out = outs[w];
     std::vector<NodeId> buf;
     for (size_t i = begin; i < end; ++i) {
       out.edges += sampler.SampleInto(streams_[w], &buf);
-      out.sizes.push_back(buf.size());
+      out.sizes.push_back(static_cast<uint32_t>(buf.size()));
       out.nodes.insert(out.nodes.end(), buf.begin(), buf.end());
     }
   });
-  for (const WorkerOut& out : outs) {
-    for (size_t s : out.sizes) {
-      offsets_.push_back(offsets_.back() + s);
-    }
-    nodes_.insert(nodes_.end(), out.nodes.begin(), out.nodes.end());
+  const size_t first_new = sets_.size();
+  sets_.reserve(first_new + need);
+  for (WorkerOut& out : outs) {
     edges_examined_ += out.edges;
+    total_nodes_ += out.nodes.size();
+    const NodeId* base = nullptr;
+    if (!out.nodes.empty()) {
+      // Merge by move: the worker arena becomes collection storage as-is;
+      // its heap buffer (and thus every SetRef into it) stays stable.
+      arenas_.push_back(std::move(out.nodes));
+      base = arenas_.back().data();
+    }
+    size_t off = 0;
+    for (uint32_t s : out.sizes) {
+      sets_.push_back(SetRef{base + off, s});
+      off += s;
+    }
   }
   UIC_CHECK_GE(size(), target);
+  ExtendIndex(first_new);
+}
+
+void RrCollection::ExtendIndex(size_t first_new) {
+  const size_t num_new = sets_.size() - first_new;
+  if (num_new == 0) return;
+  UIC_CHECK_LT(sets_.size(), size_t{UINT32_MAX});  // ids are uint32
+  const size_t n = graph_.num_nodes();
+
+  // Logical workers for this delta build; ParallelFor clamps identically,
+  // so `w` in the lambdas is always < iw. Small rounds use fewer workers:
+  // the counting scratch (and its zeroing) is iw × n, which must not cost
+  // Θ(workers·n) for a round that adds a handful of sets.
+  const size_t by_work = (num_new + 1023) / 1024;
+  unsigned iw = workers_;
+  if (iw > by_work) iw = static_cast<unsigned>(by_work);
+  if (iw < 1) iw = 1;
+
+  // Pass 1 (parallel): per-(worker, node) occurrence counts over each
+  // worker's slice of the new sets.
+  std::vector<uint32_t> scratch(static_cast<size_t>(iw) * n, 0);
+  uint32_t* counts = scratch.data();
+  pool_->ParallelFor(num_new, iw, [&](unsigned w, size_t begin, size_t end) {
+    uint32_t* cnt = counts + static_cast<size_t>(w) * n;
+    for (size_t r = begin; r < end; ++r) {
+      for (NodeId v : Set(first_new + r)) ++cnt[v];
+    }
+  });
+
+  // Prefix sums (serial): delta offsets per node, and in place of each
+  // count the start cursor for that (worker, node) region, stored
+  // *relative to off[v]* so it fits uint32 (per-node degree < 2^32) even
+  // when the delta itself holds more than 2^32 entries. Worker order per
+  // node matches set-id order, keeping ids ascending within a node.
+  IndexDelta delta;
+  delta.off.assign(n + 1, 0);
+  size_t run = 0;
+  for (size_t v = 0; v < n; ++v) {
+    delta.off[v] = run;
+    uint32_t rel = 0;
+    for (unsigned w = 0; w < iw; ++w) {
+      uint32_t& slot = counts[static_cast<size_t>(w) * n + v];
+      const uint32_t c = slot;
+      slot = rel;
+      rel += c;
+    }
+    index_degree_[v] += rel;
+    run += rel;
+  }
+  delta.off[n] = run;
+
+  // Pass 2 (parallel): scatter set ids into the delta via the per-worker
+  // cursors; every (worker, node) writes a disjoint region.
+  delta.sets.resize(run);
+  uint32_t* slots = delta.sets.data();
+  const size_t* off = delta.off.data();
+  pool_->ParallelFor(num_new, iw, [&](unsigned w, size_t begin, size_t end) {
+    uint32_t* cur = counts + static_cast<size_t>(w) * n;
+    for (size_t r = begin; r < end; ++r) {
+      const uint32_t id = static_cast<uint32_t>(first_new + r);
+      for (NodeId v : Set(id)) slots[off[v] + cur[v]++] = id;
+    }
+  });
+  index_.push_back(std::move(delta));
+
+  // Tiered merging (binary-counter style): fold the newest delta into its
+  // predecessor while it is at least as large, so delta sizes stay
+  // geometrically decreasing and the merge work stays amortized
+  // near-linear for any growth schedule. The hard cap then bounds the
+  // retained (n+1)-entry offset arrays and per-lookup delta walks even
+  // for schedules of many strictly shrinking rounds.
+  while (index_.size() >= 2 &&
+         index_.back().sets.size() >=
+             index_[index_.size() - 2].sets.size()) {
+    MergeIndexTail(index_.size() - 2);
+  }
+  constexpr size_t kMaxIndexDeltas = 8;
+  if (index_.size() > kMaxIndexDeltas) MergeIndexTail(0);
+}
+
+void RrCollection::MergeIndexTail(size_t first) {
+  if (index_.size() - first <= 1) return;
+  const size_t n = graph_.num_nodes();
+  const size_t num_deltas = index_.size();
+  IndexDelta merged;
+  merged.off.assign(n + 1, 0);
+  size_t run = 0;
+  for (size_t v = 0; v < n; ++v) {
+    merged.off[v] = run;
+    for (size_t d = first; d < num_deltas; ++d) {
+      run += index_[d].off[v + 1] - index_[d].off[v];
+    }
+  }
+  merged.off[n] = run;
+  merged.sets.resize(run);
+  uint32_t* slots = merged.sets.data();
+  const IndexDelta* deltas = index_.data();
+  // Parallel over node ranges: each node's merged slice is filled by
+  // walking the tail deltas in order, preserving ascending set-id order;
+  // regions are disjoint per node.
+  pool_->ParallelFor(n, workers_, [&](unsigned, size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      uint32_t* out = slots + merged.off[v];
+      for (size_t d = first; d < num_deltas; ++d) {
+        const IndexDelta& dd = deltas[d];
+        const size_t d_end = dd.off[v + 1];
+        for (size_t i = dd.off[v]; i < d_end; ++i) *out++ = dd.sets[i];
+      }
+    }
+  });
+  index_.resize(first);
+  index_.push_back(std::move(merged));
 }
 
 }  // namespace uic

@@ -5,19 +5,30 @@
 // probability; the RR set is the set of nodes reaching the root in that
 // partial edge world. The key identity is σ(S) = n · E[ S ∩ R ≠ ∅ ].
 //
-// `RrCollection` owns a growing pool of RR sets. Generation is
-// deterministic in (seed, workers): each worker owns a persistent RNG
-// stream and a fixed slice of every growth round, so the same target sizes
-// always yield the same pool.
+// `RrCollection` is the RR engine's state: a growing pool of RR sets plus
+// the inverted node→RR-set coverage index NodeSelection consumes, both
+// maintained *incrementally* — every `GenerateUntil` round appends
+// per-worker arenas by move and extends the index with a CSR delta built
+// in parallel, so nothing is recomputed when the pool only grows. All
+// parallel work runs on a persistent `ThreadPool` (the process-wide
+// shared pool by default); no threads are spawned per round.
+//
+// Generation is deterministic in (seed, workers): each logical worker owns
+// a persistent RNG stream and a fixed slice of every growth round, so the
+// same target sequence always yields the same pool and index, independent
+// of the thread pool's physical size.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
 #include "graph/graph.h"
 
 namespace uic {
+
+class ThreadPool;
 
 /// \brief Options modifying RR sampling semantics.
 struct RrOptions {
@@ -35,43 +46,126 @@ struct RrOptions {
   bool linear_threshold = false;
 };
 
-/// \brief A pool of RR sets with deterministic parallel growth.
+/// \brief A pool of RR sets with deterministic parallel growth and an
+/// incrementally maintained node→RR-set coverage index.
 class RrCollection {
  public:
+  /// `pool` is the thread pool parallel growth runs on; nullptr means the
+  /// process-wide `ThreadPool::Shared()`. The pool must outlive the
+  /// collection.
   RrCollection(const Graph& graph, uint64_t seed, unsigned workers = 0,
-               RrOptions options = {});
+               RrOptions options = {}, ThreadPool* pool = nullptr);
 
-  /// Grow the pool until it holds at least `target` RR sets.
+  // Not copyable: SetRef entries point into this collection's arena
+  // buffers, so a copy would alias storage the source frees on
+  // Clear()/destruction.
+  RrCollection(const RrCollection&) = delete;
+  RrCollection& operator=(const RrCollection&) = delete;
+
+  /// Grow the pool until it holds at least `target` RR sets, extending the
+  /// coverage index with the new sets.
   void GenerateUntil(size_t target);
 
-  size_t size() const { return offsets_.size() - 1; }
+  size_t size() const { return sets_.size(); }
 
   /// Nodes of RR set `r`.
   std::span<const NodeId> Set(size_t r) const {
-    return {nodes_.data() + offsets_[r], nodes_.data() + offsets_[r + 1]};
+    const SetRef& s = sets_[r];
+    return {s.data, s.data + s.size};
   }
 
   /// Total Σ_r |R_r| (memory proxy; also the NodeSelection cost).
-  size_t TotalNodes() const { return nodes_.size(); }
+  size_t TotalNodes() const { return total_nodes_; }
 
   /// Total Σ_r w(R_r): edges examined while sampling (EPT cost model).
   size_t TotalEdgesExamined() const { return edges_examined_; }
 
   const Graph& graph() const { return graph_; }
 
-  /// Drop all sets (used by the regeneration fix of PRIMA/IMM: the final
-  /// NodeSelection must run on freshly sampled sets).
+  unsigned workers() const { return workers_; }
+
+  /// Drop all sets and the index (used by the regeneration fix of
+  /// PRIMA/IMM: the final NodeSelection must run on freshly sampled sets).
   void Clear();
 
+  /// Clear *and* reseed the per-worker RNG streams: the collection becomes
+  /// indistinguishable from a freshly constructed `RrCollection(graph,
+  /// seed, workers, options)` while keeping its thread pool and index
+  /// scratch (arena buffers are owned by the pool contents and freed with
+  /// them). This is how one engine instance serves a whole solver
+  /// invocation, including PRIMA's regeneration pass.
+  void Reset(uint64_t seed);
+
+  // --- Coverage index ---------------------------------------------------
+  // Maintained by GenerateUntil (extended per growth round, in parallel)
+  // and invalidated only by Clear()/Reset(). For every node v it lists the
+  // ids of the RR sets containing v, in ascending id order.
+
+  /// Number of RR sets containing `v`.
+  uint32_t IndexDegree(NodeId v) const { return index_degree_[v]; }
+
+  /// Invoke `fn(set_id)` for every RR set containing `v`, in ascending
+  /// set-id order.
+  template <typename Fn>
+  void ForEachSetContaining(NodeId v, Fn&& fn) const {
+    for (const IndexDelta& d : index_) {
+      const size_t begin = d.off[v];
+      const size_t end = d.off[v + 1];
+      for (size_t i = begin; i < end; ++i) fn(d.sets[i]);
+    }
+  }
+
+  /// Number of CSR deltas the index currently consists of (one per growth
+  /// round; exposed for tests and instrumentation).
+  size_t IndexDeltaCount() const { return index_.size(); }
+
  private:
+  /// An RR set lives contiguously inside one of the moved-in worker
+  /// arenas; arena buffers are never touched after the move, so the
+  /// pointer stays valid until Clear().
+  struct SetRef {
+    const NodeId* data;
+    uint32_t size;
+  };
+
+  /// One growth round's contribution to the inverted index, in CSR form:
+  /// `sets[off[v] .. off[v+1])` are the ids of this round's RR sets that
+  /// contain v. Offsets are size_t (a delta can hold the whole pool after
+  /// compaction — or after PRIMA's regeneration, which samples the final
+  /// pool in one round); set ids are uint32, bounding the pool at 2^32
+  /// sets (checked).
+  struct IndexDelta {
+    std::vector<size_t> off;     // graph.num_nodes() + 1
+    std::vector<uint32_t> sets;  // global RR set ids, ascending per node
+  };
+
+  void SeedStreams(uint64_t seed);
+
+  /// Build the CSR delta for the new sets [first_new, size()) in parallel
+  /// and append it to the index, merging deltas per the tiering policy.
+  void ExtendIndex(size_t first_new);
+
+  /// Merge deltas [first, end) into one, preserving per-node ascending
+  /// set-id order. Called with binary-counter tiering (merge while the
+  /// newest delta is at least as large as its predecessor), which keeps
+  /// delta sizes geometrically decreasing — O(log) deltas and amortized
+  /// O(E log E) maintenance over E index entries for *any* growth
+  /// schedule, O(E) for geometric ones like PRIMA's.
+  void MergeIndexTail(size_t first);
+
   const Graph& graph_;
   RrOptions options_;
   unsigned workers_;
+  ThreadPool* pool_;
   std::vector<Rng> streams_;
 
-  std::vector<size_t> offsets_;  // size() + 1
-  std::vector<NodeId> nodes_;
+  std::vector<std::vector<NodeId>> arenas_;  ///< moved-in worker buffers
+  std::vector<SetRef> sets_;
+  size_t total_nodes_ = 0;
   size_t edges_examined_ = 0;
+
+  std::vector<uint32_t> index_degree_;  ///< per node, summed over deltas
+  std::vector<IndexDelta> index_;
 };
 
 /// \brief Single-threaded RR sampler (exposed for tests and custom loops).

@@ -24,7 +24,6 @@ ImResult Tim(const Graph& graph, size_t k, double eps, double ell,
   // --- KPT estimation (TIM Algorithm 2) -------------------------------
   // For i = 1 .. log2(n) − 1: draw c_i RR sets; if the mean of
   // κ(R) = 1 − (1 − w(R)/m)^k exceeds 1/2^i, accept KPT = n·mean / 2.
-  RrCollection pool(graph, seed, workers, rr_options);
   double kpt = 1.0;
   const double log2n = std::log2(n);
   const double lambda_kpt =

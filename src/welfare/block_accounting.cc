@@ -61,8 +61,6 @@ BlockDecomposition GenerateBlocks(const UtilityTable& utilities,
   const ItemSet full_rank = FullItemSet(static_cast<ItemId>(items.size()));
   ItemSet chosen_union_orig = kEmptyItemSet;  // over original ids
   ItemSet chosen_union_rank = kEmptyItemSet;  // over rank ids
-  const double base_zero = 0.0;
-  (void)base_zero;
   while (chosen_union_rank != full_rank) {
     bool found = false;
     for (ItemSet cand_rank = 1; cand_rank <= full_rank; ++cand_rank) {

@@ -1,0 +1,381 @@
+// Determinism, equivalence, and index-maintenance tests for the RR engine
+// (persistent thread pool + RrCollection + index-driven NodeSelection).
+//
+// The GOLDEN_* constants below were captured from the pre-refactor engine
+// (fork-join ParallelFor, copy-merge pool, per-call index build in
+// NodeSelection) at the same seeds; matching them proves the refactor is
+// bit-identical, not merely statistically equivalent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "rrset/node_selection.h"
+#include "rrset/prima.h"
+#include "rrset/rr_collection.h"
+
+namespace uic {
+namespace {
+
+// --- golden values from the pre-refactor engine -----------------------
+constexpr uint64_t kGoldenIcPoolHashW1 = 0xcb1eb66d623fbd39ULL;
+constexpr uint64_t kGoldenIcPoolHashW4 = 0x03668bcb39438cecULL;
+constexpr uint64_t kGoldenLtPoolHash = 0xe0b392891fdf9e83ULL;
+constexpr uint64_t kGoldenCoverageHashW1 = 0xcb5440a3ffc4df19ULL;
+constexpr uint64_t kGoldenCoverageHashW4 = 0x80088ddc99185bb4ULL;
+const std::vector<NodeId> kGoldenSeedsW1 = {
+    98, 44, 34, 97, 92, 62, 89, 119, 82, 54, 24, 40, 103,
+    41, 32, 148, 58, 113, 176, 94, 57, 14, 48, 56, 180};
+const std::vector<NodeId> kGoldenSeedsW4 = {
+    98, 44, 34, 109, 62, 97, 103, 47, 18, 113, 153, 189, 119,
+    82, 50, 6, 94, 48, 53, 126, 32, 183, 58, 68, 199};
+const std::vector<NodeId> kGoldenPrimaSeedsW4 = {202, 89, 136, 284, 52,
+                                                 242, 187, 248, 296, 79};
+const std::vector<NodeId> kGoldenPrimaSeedsW1 = {63, 89, 185, 242, 138,
+                                                 136, 93, 284, 79, 296};
+constexpr size_t kGoldenPrimaRrSetsW4 = 2247;
+constexpr size_t kGoldenPrimaRrSetsW1 = 2319;
+
+uint64_t Fnv1a(uint64_t h, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t PoolHash(const RrCollection& pool) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, pool.size());
+  for (size_t r = 0; r < pool.size(); ++r) {
+    auto s = pool.Set(r);
+    h = Fnv1a(h, s.size());
+    for (NodeId v : s) h = Fnv1a(h, v);
+  }
+  return h;
+}
+
+uint64_t CoverageHash(const SeedSelection& sel) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (double c : sel.coverage) {
+    uint64_t bits;
+    std::memcpy(&bits, &c, sizeof(bits));
+    h = Fnv1a(h, bits);
+  }
+  return h;
+}
+
+Graph GoldenGraph() {
+  Graph g = GenerateErdosRenyi(200, 1200, 7);
+  g.ApplyWeightedCascade();
+  return g;
+}
+
+// Reference inverted index built from scratch by scanning the pool — what
+// the pre-refactor NodeSelection rebuilt on every call.
+std::vector<std::vector<uint32_t>> ReferenceIndex(const RrCollection& pool) {
+  std::vector<std::vector<uint32_t>> index(pool.graph().num_nodes());
+  for (size_t r = 0; r < pool.size(); ++r) {
+    for (NodeId v : pool.Set(r)) {
+      index[v].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return index;
+}
+
+void ExpectIndexMatchesReference(const RrCollection& pool) {
+  const std::vector<std::vector<uint32_t>> ref = ReferenceIndex(pool);
+  for (NodeId v = 0; v < pool.graph().num_nodes(); ++v) {
+    ASSERT_EQ(pool.IndexDegree(v), ref[v].size()) << "node " << v;
+    std::vector<uint32_t> got;
+    pool.ForEachSetContaining(v, [&](uint32_t r) { got.push_back(r); });
+    ASSERT_EQ(got, ref[v]) << "node " << v;
+  }
+}
+
+// The pre-refactor NodeSelection, kept verbatim as an executable spec:
+// builds its own CSR index, then runs the identical lazy greedy.
+SeedSelection ReferenceNodeSelection(const RrCollection& collection, size_t k,
+                                     const std::vector<NodeId>& excluded) {
+  const Graph& graph = collection.graph();
+  const NodeId n = graph.num_nodes();
+  const size_t num_sets = collection.size();
+  SeedSelection result;
+  if (num_sets == 0 || k == 0) return result;
+
+  std::vector<uint32_t> deg(n, 0);
+  for (size_t r = 0; r < num_sets; ++r) {
+    for (NodeId v : collection.Set(r)) ++deg[v];
+  }
+  std::vector<size_t> node_off(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) node_off[v + 1] = node_off[v] + deg[v];
+  std::vector<uint32_t> node_sets(node_off[n]);
+  {
+    std::vector<size_t> cursor(node_off.begin(), node_off.end() - 1);
+    for (size_t r = 0; r < num_sets; ++r) {
+      for (NodeId v : collection.Set(r)) {
+        node_sets[cursor[v]++] = static_cast<uint32_t>(r);
+      }
+    }
+  }
+
+  std::vector<uint8_t> banned(n, 0);
+  for (NodeId v : excluded) banned[v] = 1;
+
+  std::vector<uint8_t> covered(num_sets, 0);
+  std::vector<uint8_t> selected(n, 0);
+  using Entry = std::pair<uint32_t, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (deg[v] > 0 && !banned[v]) heap.push({deg[v], v});
+  }
+
+  size_t covered_count = 0;
+  std::vector<uint32_t> stamp(n, 0);
+  uint32_t round = 0;
+  while (result.seeds.size() < k && !heap.empty()) {
+    auto [gain, v] = heap.top();
+    heap.pop();
+    if (selected[v]) continue;
+    if (stamp[v] != round) {
+      uint32_t g = 0;
+      for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
+        g += covered[node_sets[idx]] == 0;
+      }
+      stamp[v] = round;
+      if (!heap.empty() && g < heap.top().first) {
+        if (g > 0) heap.push({g, v});
+        continue;
+      }
+      gain = g;
+    }
+    selected[v] = 1;
+    for (size_t idx = node_off[v]; idx < node_off[v + 1]; ++idx) {
+      const uint32_t r = node_sets[idx];
+      if (!covered[r]) {
+        covered[r] = 1;
+        ++covered_count;
+      }
+    }
+    ++round;
+    (void)gain;
+    result.seeds.push_back(v);
+    result.coverage.push_back(static_cast<double>(covered_count) /
+                              static_cast<double>(num_sets));
+  }
+  for (NodeId v = 0; v < n && result.seeds.size() < k; ++v) {
+    if (!selected[v] && !banned[v]) {
+      selected[v] = 1;
+      result.seeds.push_back(v);
+      result.coverage.push_back(static_cast<double>(covered_count) /
+                                static_cast<double>(num_sets));
+    }
+  }
+  return result;
+}
+
+// --- old-vs-new golden equivalence ------------------------------------
+
+TEST(RrEngineGolden, IcPoolMatchesPreRefactorEngine) {
+  Graph g = GoldenGraph();
+  for (const auto& [workers, pool_hash, seeds, coverage_hash] :
+       {std::tuple{1u, kGoldenIcPoolHashW1, kGoldenSeedsW1,
+                   kGoldenCoverageHashW1},
+        std::tuple{4u, kGoldenIcPoolHashW4, kGoldenSeedsW4,
+                   kGoldenCoverageHashW4}}) {
+    RrCollection pool(g, 42, workers);
+    pool.GenerateUntil(777);
+    pool.GenerateUntil(2000);  // same growth schedule as the capture run
+    EXPECT_EQ(PoolHash(pool), pool_hash) << "workers=" << workers;
+    const SeedSelection sel = NodeSelection(pool, 25);
+    EXPECT_EQ(sel.seeds, seeds) << "workers=" << workers;
+    EXPECT_EQ(CoverageHash(sel), coverage_hash) << "workers=" << workers;
+  }
+}
+
+TEST(RrEngineGolden, LtPoolMatchesPreRefactorEngine) {
+  Graph g = GoldenGraph();
+  RrOptions opt;
+  opt.linear_threshold = true;
+  RrCollection pool(g, 5, 4, opt);
+  pool.GenerateUntil(1500);
+  EXPECT_EQ(PoolHash(pool), kGoldenLtPoolHash);
+}
+
+TEST(RrEngineGolden, PrimaSeedsMatchPreRefactorEngine) {
+  Graph g = GenerateErdosRenyi(300, 1800, 3);
+  g.ApplyWeightedCascade();
+  const ImResult r4 = Prima(g, {10, 5, 3}, 0.5, 1.0, 11, 4);
+  EXPECT_EQ(r4.seeds, kGoldenPrimaSeedsW4);
+  EXPECT_EQ(r4.num_rr_sets, kGoldenPrimaRrSetsW4);
+  const ImResult r1 = Prima(g, {10, 5, 3}, 0.5, 1.0, 11, 1);
+  EXPECT_EQ(r1.seeds, kGoldenPrimaSeedsW1);
+  EXPECT_EQ(r1.num_rr_sets, kGoldenPrimaRrSetsW1);
+}
+
+// --- run-to-run determinism -------------------------------------------
+
+TEST(RrEngineDeterminism, PoolIsByteIdenticalAcrossRuns) {
+  Graph g = GoldenGraph();
+  for (unsigned workers : {1u, 3u, 8u}) {
+    RrCollection a(g, 21, workers);
+    a.GenerateUntil(600);
+    a.GenerateUntil(1500);
+    RrCollection b(g, 21, workers);
+    b.GenerateUntil(600);
+    b.GenerateUntil(1500);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.TotalNodes(), b.TotalNodes());
+    ASSERT_EQ(a.TotalEdgesExamined(), b.TotalEdgesExamined());
+    for (size_t r = 0; r < a.size(); ++r) {
+      auto sa = a.Set(r);
+      auto sb = b.Set(r);
+      ASSERT_EQ(sa.size(), sb.size()) << "set " << r;
+      ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()))
+          << "set " << r;
+    }
+  }
+}
+
+TEST(RrEngineDeterminism, PrimaSeedsIdenticalAcrossRuns) {
+  Graph g = GenerateErdosRenyi(250, 1500, 9);
+  g.ApplyWeightedCascade();
+  const ImResult a = Prima(g, {8, 4}, 0.5, 1.0, 77, 4);
+  const ImResult b = Prima(g, {8, 4}, 0.5, 1.0, 77, 4);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.num_rr_sets, b.num_rr_sets);
+}
+
+TEST(RrEngineDeterminism, IndependentOfPhysicalThreadCount) {
+  // The determinism contract is (seed, *logical* workers): the same pool
+  // must come out whether the work runs on 1 or 8 physical threads.
+  Graph g = GoldenGraph();
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  RrCollection a(g, 33, 4, {}, &one);
+  RrCollection b(g, 33, 4, {}, &eight);
+  a.GenerateUntil(1200);
+  b.GenerateUntil(1200);
+  EXPECT_EQ(PoolHash(a), PoolHash(b));
+}
+
+TEST(RrEngineDeterminism, ResetEqualsFreshCollection) {
+  Graph g = GoldenGraph();
+  RrCollection reused(g, 1, 4);
+  reused.GenerateUntil(900);  // unrelated prior life
+  reused.Reset(123);
+  reused.GenerateUntil(800);
+  RrCollection fresh(g, 123, 4);
+  fresh.GenerateUntil(800);
+  EXPECT_EQ(PoolHash(reused), PoolHash(fresh));
+  ExpectIndexMatchesReference(reused);
+}
+
+// --- incremental index maintenance ------------------------------------
+
+TEST(RrEngineIndex, IncrementalEqualsFreshlyBuiltAfterInterleavedGrowth) {
+  Graph g = GoldenGraph();
+  RrCollection pool(g, 50, 4);
+  pool.GenerateUntil(2000);
+  ExpectIndexMatchesReference(pool);
+  // A small second round extends the index instead of rebuilding it: the
+  // new delta (≤ 5 sets of ≤ 200 nodes) is strictly smaller than the
+  // first (≥ 2000 entries), so tiering keeps it as a separate delta.
+  pool.GenerateUntil(2005);
+  EXPECT_EQ(pool.IndexDeltaCount(), 2u);
+  ExpectIndexMatchesReference(pool);
+  pool.Clear();  // invalidated only by Clear()
+  EXPECT_EQ(pool.IndexDeltaCount(), 0u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(pool.IndexDegree(v), 0u);
+  }
+  pool.GenerateUntil(300);
+  ExpectIndexMatchesReference(pool);
+}
+
+TEST(RrEngineIndex, TieredMergingBoundsDeltaCountAndPreservesContent) {
+  Graph g = GoldenGraph();
+  RrCollection pool(g, 70, 4);
+  // Many growth rounds of varying size: tiering + the hard cap must keep
+  // the delta count bounded while the index stays exact.
+  size_t target = 50;
+  for (size_t add : {100ul, 400ul, 30ul, 700ul, 10ul, 5ul, 900ul, 20ul,
+                     3ul, 2ul, 1ul, 250ul}) {
+    target += add;
+    pool.GenerateUntil(target);
+    ASSERT_LE(pool.IndexDeltaCount(), 8u) << "target " << target;
+  }
+  ExpectIndexMatchesReference(pool);
+  const SeedSelection got = NodeSelection(pool, 20);
+  const SeedSelection want = ReferenceNodeSelection(pool, 20, {});
+  EXPECT_EQ(got.seeds, want.seeds);
+}
+
+TEST(RrEngineIndex, MaintainedUnderPassProbAndLt) {
+  Graph g = GoldenGraph();
+  std::vector<float> pass(g.num_nodes(), 0.6f);
+  RrOptions with_coins;
+  with_coins.node_pass_prob = &pass;
+  RrCollection coins(g, 3, 4, with_coins);
+  coins.GenerateUntil(800);  // empty sets (rejected roots) count, uncovered
+  ExpectIndexMatchesReference(coins);
+
+  RrOptions lt;
+  lt.linear_threshold = true;
+  RrCollection walk(g, 4, 4, lt);
+  walk.GenerateUntil(500);
+  walk.GenerateUntil(1100);
+  ExpectIndexMatchesReference(walk);
+}
+
+TEST(RrEngineIndex, CountCoveredSetsMatchesScan) {
+  Graph g = GoldenGraph();
+  RrCollection pool(g, 60, 4);
+  pool.GenerateUntil(1500);
+  const std::vector<NodeId> seeds = {1, 17, 42, 99, 150};
+  std::vector<uint8_t> is_seed(g.num_nodes(), 0);
+  for (NodeId v : seeds) is_seed[v] = 1;
+  size_t expected = 0;
+  for (size_t r = 0; r < pool.size(); ++r) {
+    for (NodeId v : pool.Set(r)) {
+      if (is_seed[v]) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(CountCoveredSets(pool, seeds), expected);
+}
+
+// --- selection equivalence on arbitrary instances ---------------------
+
+TEST(RrEngineSelection, MatchesReferenceImplementation) {
+  for (uint64_t graph_seed : {101ull, 202ull, 303ull}) {
+    Graph g = GenerateErdosRenyi(120, 700, graph_seed);
+    g.ApplyWeightedCascade();
+    RrCollection pool(g, graph_seed ^ 0xabcd, 4);
+    pool.GenerateUntil(400);
+    pool.GenerateUntil(1300);
+    for (const std::vector<NodeId>& excluded :
+         {std::vector<NodeId>{}, std::vector<NodeId>{0, 5, 7}}) {
+      const SeedSelection got = NodeSelection(pool, 30, excluded);
+      const SeedSelection want =
+          ReferenceNodeSelection(pool, 30, excluded);
+      EXPECT_EQ(got.seeds, want.seeds) << "graph_seed=" << graph_seed;
+      EXPECT_EQ(got.coverage, want.coverage) << "graph_seed=" << graph_seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uic

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace uic {
+namespace {
+
+/// The partition the legacy fork-join ParallelFor produced; the pool must
+/// reproduce it exactly — per-worker RNG streams make the (worker, begin,
+/// end) triples part of the determinism contract.
+std::vector<std::tuple<unsigned, size_t, size_t>> LegacyPartition(
+    size_t n, unsigned workers) {
+  std::vector<std::tuple<unsigned, size_t, size_t>> chunks;
+  if (n == 0) return chunks;
+  if (workers <= 1 || n < 2) {
+    chunks.emplace_back(0, 0, n);
+    return chunks;
+  }
+  if (workers > n) workers = static_cast<unsigned>(n);
+  const size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const size_t begin = static_cast<size_t>(w) * chunk;
+    const size_t end = begin + chunk < n ? begin + chunk : n;
+    if (begin >= end) break;
+    chunks.emplace_back(w, begin, end);
+  }
+  return chunks;
+}
+
+std::vector<std::tuple<unsigned, size_t, size_t>> PoolPartition(
+    ThreadPool& pool, size_t n, unsigned workers) {
+  std::mutex m;
+  std::vector<std::tuple<unsigned, size_t, size_t>> chunks;
+  pool.ParallelFor(n, workers, [&](unsigned w, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(w, begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ThreadPool, PartitionMatchesLegacyForkJoin) {
+  ThreadPool pool(4);
+  for (size_t n : {0ul, 1ul, 2ul, 3ul, 7ul, 8ul, 9ul, 100ul, 1001ul}) {
+    for (unsigned w : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+      EXPECT_EQ(PoolPartition(pool, n, w), LegacyPartition(n, w))
+          << "n=" << n << " workers=" << w;
+    }
+  }
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, 8, [&](unsigned, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusedAcrossManyRoundsWithoutRespawning) {
+  // Steady-state contract: many small rounds on one pool. (That no threads
+  // are spawned per round is structural — the pool's threads are created
+  // once in the constructor — so this exercises queue reuse correctness.)
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(64, 4, [&](unsigned, size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 64u);
+}
+
+TEST(ThreadPool, MoreLogicalWorkersThanThreads) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(1000, 16, [&](unsigned, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 1000; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(4, 4, [&](unsigned, size_t, size_t) {
+    // A nested call must not wait on the pool's own queue.
+    pool.ParallelFor(100, 4, [&](unsigned, size_t begin, size_t end) {
+      inner_total.fetch_add(end - begin);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4u * 100u);
+}
+
+TEST(ThreadPool, ConcurrentCallersFromDistinctThreads) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        pool.ParallelFor(128, 4, [&](unsigned, size_t begin, size_t end) {
+          total.fetch_add(end - begin);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 50u * 128u);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 1u);
+}
+
+TEST(ThreadPool, FreeParallelForDelegatesToSharedPool) {
+  std::atomic<size_t> total{0};
+  ParallelFor(777, 4, [&](unsigned, size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 777u);
+}
+
+}  // namespace
+}  // namespace uic
