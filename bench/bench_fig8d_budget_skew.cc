@@ -7,13 +7,18 @@
 //
 // Expected shape (paper): welfare uniform > moderate > large skew; running
 // time uniform < moderate < large skew (skew inflates the max budget).
+//
+// The three splits run as one warm SweepRunner sweep: PRIMA's pools for
+// the smaller max-budgets are prefixes of the large-skew point's pool, so
+// the whole figure costs about one 410-budget solve.
 #include <cstdio>
 
+#include "common/check.h"
 #include "common/table.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
 #include "exp/networks.h"
-#include "exp/suite.h"
+#include "exp/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace uic;
@@ -28,43 +33,46 @@ int main(int argc, char** argv) {
               scale, total);
   const Graph graph = MakeTwitterLike(/*seed=*/20190630, scale);
   std::printf("%s\n", graph.Summary().c_str());
-  const ItemParams params = MakeRealPlaystationParams();
 
-  struct Split {
-    std::string name;
-    std::vector<uint32_t> budgets;
-  };
   const uint32_t u = total / 5;
   const uint32_t big = total * 82 / 100;
   const uint32_t small = (total - big) / 4;
-  const std::vector<Split> splits = {
-      {"Uniform", {u, u, u, u, u}},
-      {"Large skew", {big, small, small, small, small}},
-      {"Moderate skew",
-       {total * 30 / 100, total * 30 / 100, total * 20 / 100,
-        total * 10 / 100, total * 10 / 100}},
-  };
+  const std::vector<std::string> names = {"Uniform", "Large skew",
+                                          "Moderate skew"};
 
-  TablePrinter table({"distribution", "welfare", "time(s)", "max budget"});
-  SolverOptions options;
-  options.eps = eps;
-  WelfareProblem problem;
-  problem.graph = &graph;
-  problem.params = params;
-  uint64_t seed = 101;
-  for (const Split& split : splits) {
-    problem.budgets = split.budgets;
-    options.seed = seed;
-    const AllocationResult grd = MustSolve("bundle-grd", problem, options);
-    const double w =
-        EstimateWelfare(graph, grd.allocation, params, mc, 999).welfare;
+  SweepSpec spec;
+  spec.graph = &graph;
+  spec.params = MakeRealPlaystationParams();
+  spec.algorithms = {"bundle-grd"};
+  spec.budget_points = {
+      {u, u, u, u, u},
+      {big, small, small, small, small},
+      {total * 30 / 100, total * 30 / 100, total * 20 / 100,
+       total * 10 / 100, total * 10 / 100},
+  };
+  spec.options.eps = eps;
+  spec.options.seed = 101;
+  spec.eval_simulations = mc;
+  spec.eval_seed = 999;
+
+  SweepRunner runner(spec);
+  Result<SweepReport> report = runner.Run();
+  UIC_CHECK_MSG(report.ok(), "fig8d sweep failed: %s",
+                report.status().ToString().c_str());
+
+  TablePrinter table({"distribution", "welfare", "time(s)", "max budget",
+                      "rr sampled"});
+  for (size_t p = 0; p < spec.budget_points.size(); ++p) {
+    const SweepRow& row = report.value().rows[p];
     uint32_t bmax = 0;
-    for (uint32_t b : split.budgets) bmax = std::max(bmax, b);
-    table.AddRow({split.name, TablePrinter::Num(w, 1),
-                  TablePrinter::Num(grd.seconds, 3),
-                  std::to_string(bmax)});
-    ++seed;
+    for (uint32_t b : row.budgets) bmax = std::max(bmax, b);
+    table.AddRow({names[p], TablePrinter::Num(row.welfare, 1),
+                  TablePrinter::Num(row.seconds(), 3), std::to_string(bmax),
+                  TablePrinter::Int(
+                      static_cast<long long>(row.rr_sets_sampled))});
   }
   table.Print();
+  std::printf("rr sets consumed %zu, sampled %zu (warm sweep)\n",
+              report.value().total_rr_sets, report.value().total_rr_sampled);
   return 0;
 }

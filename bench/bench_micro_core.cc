@@ -3,8 +3,10 @@
 // construction, greedy max-cover selection.
 #include <benchmark/benchmark.h>
 
+#include "common/check.h"
 #include "diffusion/uic_model.h"
 #include "exp/configs.h"
+#include "exp/sweep.h"
 #include "graph/generators.h"
 #include "items/utility_table.h"
 #include "rrset/node_selection.h"
@@ -158,6 +160,40 @@ void BM_GraphGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphGeneration)->Arg(10000)->Arg(40000);
+
+// --- budget sweep: warm pool reuse vs cold per-point runs (ISSUE 4) ----
+// A 4-point bundleGRD budget sweep through SweepRunner, warm (arg 1: one
+// shared RrStreamCache across points) vs cold (arg 0: cache cleared per
+// point). Results are bit-identical; the counters show the warm sweep
+// samples a fraction of the cold run's RR sets, and wall-clock follows.
+void BM_BudgetSweep(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  static const Graph& g = []() -> const Graph& {
+    static Graph graph = GeneratePreferentialAttachment(5000, 6, false, 31);
+    graph.ApplyWeightedCascade();
+    return graph;
+  }();
+  size_t sampled = 0, consumed = 0;
+  for (auto _ : state) {
+    SweepSpec spec;
+    spec.graph = &g;
+    spec.algorithms = {"bundle-grd"};
+    spec.budget_points = {{10, 10}, {20, 20}, {30, 30}, {40, 40}};
+    spec.options.seed = 9;
+    spec.eval_simulations = 0;
+    spec.warm = warm;
+    SweepRunner runner(spec);
+    Result<SweepReport> report = runner.Run();
+    UIC_CHECK(report.ok());
+    sampled += report.value().total_rr_sampled;
+    consumed += report.value().total_rr_sets;
+    benchmark::DoNotOptimize(report.value().rows.data());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["rr_sampled"] = static_cast<double>(sampled) / iters;
+  state.counters["rr_consumed"] = static_cast<double>(consumed) / iters;
+}
+BENCHMARK(BM_BudgetSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace uic

@@ -11,9 +11,17 @@
 //   uic_run --algorithm bundle-grd --network er --nodes 500 --edges 3000
 //   uic_run --algorithm bdhs --bdhs-variant concave --network orkut
 //
+// Sweep mode (--sweep) runs every named algorithm over a list of budget
+// points with warm RR-pool reuse across points (see exp/sweep.h):
+//
+//   uic_run --sweep 10:50:10 --algorithms bundle-grd,item-disj
+//   uic_run --sweep "70,30;70,70;70,110" --algorithms bundle-grd \
+//           --report-csv sweep.csv
+//
 // Exit codes: 0 success, 1 solver/problem error (message on stderr),
 // 2 usage error.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +31,7 @@
 #include "exp/flags.h"
 #include "exp/networks.h"
 #include "exp/suite.h"
+#include "exp/sweep.h"
 #include "graph/generators.h"
 #include "solver/registry.h"
 
@@ -31,7 +40,17 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: uic_run --algorithm NAME [options]\n"
+    "       uic_run --sweep POINTS --algorithms A,B,.. [options]\n"
     "       uic_run --list            (print registered solver names)\n"
+    "\n"
+    "sweep (budget sweep with warm RR-pool reuse across points):\n"
+    "  --sweep POINTS     \"10,30,50\" uniform | \"10:50:20\" range lo:hi:step |\n"
+    "                     \"70,30;70,110\" explicit per-item vectors\n"
+    "  --algorithms A,B   algorithms to sweep (default: --algorithm)\n"
+    "  --cold             disable warm reuse (results identical, slower)\n"
+    "  --report-csv PATH  write the sweep report as CSV\n"
+    "  --report-json PATH write the sweep report as JSON\n"
+    "  --no-timing        print '-' for seconds (deterministic reports)\n"
     "\n"
     "network (generated stand-ins unless --graph is given):\n"
     "  --graph PATH       load a graph saved with SaveGraph\n"
@@ -68,34 +87,6 @@ constexpr const char* kUsage =
     "  --mc N             welfare-evaluation simulations   (default 400)\n"
     "  --eval-seed S      welfare-evaluation seed          (default 999)\n"
     "  --save-allocation PATH   persist the allocation (SaveAllocation)\n";
-
-Result<std::vector<uint32_t>> ParseBudgetList(const std::string& list) {
-  std::vector<uint32_t> budgets;
-  std::string token;
-  for (size_t i = 0; i <= list.size(); ++i) {
-    if (i == list.size() || list[i] == ',') {
-      if (token.empty()) {
-        return Status::InvalidArgument("--budgets: empty entry in '" + list +
-                                       "'");
-      }
-      const unsigned long long parsed =
-          std::strtoull(token.c_str(), nullptr, 10);
-      if (parsed > UINT32_MAX) {
-        return Status::InvalidArgument("--budgets: '" + token +
-                                       "' is out of budget range");
-      }
-      budgets.push_back(static_cast<uint32_t>(parsed));
-      token.clear();
-    } else {
-      if (list[i] < '0' || list[i] > '9') {
-        return Status::InvalidArgument(
-            "--budgets: '" + list + "' is not a comma-separated integer list");
-      }
-      token += list[i];
-    }
-  }
-  return budgets;
-}
 
 Result<Graph> BuildNetwork(const Flags& flags) {
   const double p = flags.GetDouble("p", 0.0);
@@ -180,6 +171,102 @@ Result<std::optional<ItemParams>> BuildParams(const Flags& flags,
   return Status::InvalidArgument("unknown --config '" + config + "'");
 }
 
+/// Comma-separated algorithm list for sweep mode; falls back to
+/// --algorithm so a one-algorithm sweep needs no extra flag.
+std::vector<std::string> SweepAlgorithms(const Flags& flags) {
+  std::string list = flags.GetString("algorithms");
+  if (list.empty()) list = flags.GetString("algorithm");
+  std::vector<std::string> names;
+  std::string token;
+  for (size_t i = 0; i <= list.size(); ++i) {
+    if (i == list.size() || list[i] == ',') {
+      if (!token.empty()) names.push_back(token);
+      token.clear();
+    } else {
+      token += list[i];
+    }
+  }
+  return names;
+}
+
+int RunSweep(const Flags& flags, const WelfareProblem& problem,
+             const SolverOptions& options) {
+  const bool timing = !flags.GetBool("no-timing");
+
+  SweepSpec spec;
+  spec.graph = problem.graph;
+  spec.params = problem.params;
+  spec.model = problem.model;
+  spec.algorithms = SweepAlgorithms(flags);
+  spec.options = options;
+  spec.warm = !flags.GetBool("cold");
+  spec.eval_simulations = problem.params.has_value()
+                              ? static_cast<size_t>(flags.GetInt("mc", 400))
+                              : 0;
+  spec.eval_seed = static_cast<uint64_t>(flags.GetInt("eval-seed", 999));
+
+  const size_t num_items = problem.params.has_value()
+                               ? problem.params->num_items()
+                               : problem.budgets.size();
+  Result<std::vector<std::vector<uint32_t>>> points =
+      ParseSweepPoints(flags.GetString("sweep"), num_items);
+  if (!points.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", points.status().ToString().c_str());
+    return 2;
+  }
+  spec.budget_points = points.MoveValue();
+
+  SweepRunner runner(spec);
+  Result<SweepReport> report = runner.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "uic_run: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"algorithm", "setting", "welfare", "std error",
+                      "seconds", "rr sets", "rr sampled"});
+  for (const SweepRow& row : report.value().rows) {
+    table.AddRow({row.algorithm, row.setting,
+                  spec.eval_simulations > 0 ? TablePrinter::Num(row.welfare, 2)
+                                            : std::string("(no eval)"),
+                  spec.eval_simulations > 0
+                      ? TablePrinter::Num(row.welfare_std_error, 2)
+                      : std::string("-"),
+                  timing ? TablePrinter::Num(row.seconds(), 3)
+                         : std::string("-"),
+                  TablePrinter::Int(static_cast<long long>(row.num_rr_sets())),
+                  TablePrinter::Int(
+                      static_cast<long long>(row.rr_sets_sampled))});
+  }
+  table.Print();
+  std::printf("total rr sets consumed: %zu, sampled from scratch: %zu (%s)\n",
+              report.value().total_rr_sets, report.value().total_rr_sampled,
+              spec.warm ? "warm" : "cold");
+
+  auto write_report = [](const std::string& path, const std::string& body) {
+    std::ofstream out(path);
+    out << body;
+    out.flush();  // surface late (buffered) write failures before checking
+    if (!out) {
+      std::fprintf(stderr, "uic_run: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("sweep report saved to %s\n", path.c_str());
+    return true;
+  };
+  const std::string csv_path = flags.GetString("report-csv");
+  if (!csv_path.empty() &&
+      !write_report(csv_path, report.value().ToCsv(timing))) {
+    return 1;
+  }
+  const std::string json_path = flags.GetString("report-json");
+  if (!json_path.empty() &&
+      !write_report(json_path, report.value().ToJson(timing))) {
+    return 1;
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
 
@@ -191,14 +278,17 @@ int Run(int argc, char** argv) {
   }
 
   const std::string algorithm = flags.GetString("algorithm");
-  if (algorithm.empty() || flags.GetBool("help")) {
+  const bool sweep_mode = !flags.GetString("sweep").empty();
+  const bool has_algorithms =
+      !algorithm.empty() || (sweep_mode && !SweepAlgorithms(flags).empty());
+  if (!has_algorithms || flags.GetBool("help")) {
     std::fputs(kUsage, stderr);
     std::fputs("\nregistered solvers:", stderr);
     for (const std::string& name : SolverRegistry::ListSolvers()) {
       std::fprintf(stderr, " %s", name.c_str());
     }
     std::fputs("\n", stderr);
-    return algorithm.empty() && !flags.GetBool("help") ? 2 : 0;
+    return !has_algorithms && !flags.GetBool("help") ? 2 : 0;
   }
 
   // --- network ----------------------------------------------------------
@@ -271,6 +361,9 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  // --- sweep mode ---------------------------------------------------------
+  if (sweep_mode) return RunSweep(flags, problem, options);
+
   // --- solve ------------------------------------------------------------
   Result<std::unique_ptr<Solver>> solver =
       SolverRegistry::CreateOrError(algorithm, options);
@@ -291,6 +384,9 @@ int Run(int argc, char** argv) {
     setting += (i ? "," : "") + std::to_string(budgets[i]);
   }
 
+  // --no-timing pins the report for golden end-to-end tests (wall-clock is
+  // the only nondeterministic column).
+  const bool timing = !flags.GetBool("no-timing");
   TablePrinter table({"algorithm", "setting", "welfare", "std error",
                       "seconds", "rr sets", "seed nodes"});
   if (problem.params.has_value()) {
@@ -303,13 +399,15 @@ int Run(int argc, char** argv) {
     table.AddRow({row.algorithm, row.setting,
                   TablePrinter::Num(row.welfare, 2),
                   TablePrinter::Num(row.welfare_std_error, 2),
-                  TablePrinter::Num(row.seconds, 3),
+                  timing ? TablePrinter::Num(row.seconds, 3)
+                         : std::string("-"),
                   TablePrinter::Int(static_cast<long long>(row.num_rr_sets)),
                   TablePrinter::Int(static_cast<long long>(
                       result.allocation.num_seed_nodes()))});
   } else {
     table.AddRow({algorithm, setting, "(no params)", "-",
-                  TablePrinter::Num(result.seconds, 3),
+                  timing ? TablePrinter::Num(result.seconds, 3)
+                         : std::string("-"),
                   TablePrinter::Int(static_cast<long long>(result.num_rr_sets)),
                   TablePrinter::Int(static_cast<long long>(
                       result.allocation.num_seed_nodes()))});

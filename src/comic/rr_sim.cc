@@ -38,6 +38,7 @@ AllocationResult SelectWithNodeCoins(const Graph& graph,
 
   RrOptions rr_options;
   rr_options.node_pass_prob = &pass_prob;
+  rr_options.stream_cache = options.stream_cache;
   RrCollection pool(graph, seed, workers, rr_options);
 
   // Doubling phase to find a lower bound LB on the optimal coverage.
@@ -82,9 +83,11 @@ AllocationResult RrSimPlus(const Graph& graph, const TwoItemGap& gap,
                            const ComIcBaselineOptions& options, uint64_t seed,
                            unsigned workers) {
   WallTimer timer;
-  // Item i2's seeds by plain IMM.
+  // Item i2's seeds by plain IMM (warm-started when a cache is attached).
+  RrOptions imm_rr;
+  imm_rr.stream_cache = options.stream_cache;
   ImResult imm2 = Imm(graph, budget2, options.eps, options.ell, seed ^ 0xb2u,
-                      workers);
+                      workers, {}, imm_rr);
   std::vector<NodeId> seeds2(imm2.seeds.begin(),
                              imm2.seeds.begin() +
                                  std::min<size_t>(budget2, imm2.seeds.size()));
@@ -106,29 +109,35 @@ AllocationResult RrCim(const Graph& graph, const TwoItemGap& gap,
                        const ComIcBaselineOptions& options, uint64_t seed,
                        unsigned workers) {
   WallTimer timer;
+  RrOptions imm_rr;
+  imm_rr.stream_cache = options.stream_cache;
   ImResult imm2 = Imm(graph, budget2, options.eps, options.ell, seed ^ 0xb2u,
-                      workers);
+                      workers, {}, imm_rr);
   std::vector<NodeId> seeds2(imm2.seeds.begin(),
                              imm2.seeds.begin() +
                                  std::min<size_t>(budget2, imm2.seeds.size()));
 
   // Forward Monte-Carlo estimation of each node's i2-adoption probability
   // (this pass is what makes RR-CIM the slowest algorithm, cf. Fig. 5).
-  if (workers == 0) workers = DefaultWorkers();
+  // Fixed-grid streams so the counts — and hence the derived node coins —
+  // are worker-count invariant. The accumulators are kRngStreams × n
+  // uint32 regardless of the worker count (streams may run concurrently,
+  // so they cannot share a slot without synchronization); at the repo's
+  // laptop-scale stand-ins (≤ ~40K nodes, networks.h) that is a few MB.
   const size_t sims = std::max<size_t>(1, options.cim_forward_simulations);
   std::vector<std::vector<uint32_t>> counts(
-      workers, std::vector<uint32_t>(graph.num_nodes(), 0));
-  ParallelFor(sims, workers, [&](unsigned w, size_t begin, size_t end) {
+      kRngStreams, std::vector<uint32_t>(graph.num_nodes(), 0));
+  ParallelForStreams(sims, workers, [&](unsigned s, size_t begin, size_t end) {
     ComIcSimulator sim(graph, gap);
-    Rng rng = Rng::Split(seed ^ 0xf0f0u, w);
+    Rng rng = Rng::Split(seed ^ 0xf0f0u, s);
     for (size_t i = begin; i < end; ++i) {
-      sim.Run({}, seeds2, rng, &counts[w]);
+      sim.Run({}, seeds2, rng, &counts[s]);
     }
   });
   std::vector<float> pass(graph.num_nodes(), 0.0f);
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     uint64_t c = 0;
-    for (unsigned w = 0; w < workers; ++w) c += counts[w][v];
+    for (unsigned s = 0; s < kRngStreams; ++s) c += counts[s][v];
     const double p2 = static_cast<double>(c) / static_cast<double>(sims);
     pass[v] = static_cast<float>(gap.q1_none * (1.0 - p2) +
                                  gap.q1_given2 * p2);

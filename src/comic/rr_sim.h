@@ -33,6 +33,10 @@ struct ComIcBaselineOptions {
   /// Forward Monte-Carlo simulations used by RR-CIM to estimate per-node
   /// i2-adoption probabilities.
   size_t cim_forward_simulations = 200;
+  /// Optional warm-start cache for every RR pool these baselines build
+  /// (the i2 IMM pool and the node-coin pools); see rr_stream_cache.h.
+  /// Results are bit-identical with or without it.
+  RrStreamCache* stream_cache = nullptr;
 };
 
 /// \brief RR-SIM+: item i1 seeds via self-influence RR sets (i2 by IMM).

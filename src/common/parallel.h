@@ -2,25 +2,57 @@
 //
 // `ParallelFor` partitions [0, n) into `workers` contiguous chunks and runs
 // them on the process-wide persistent `ThreadPool` (see thread_pool.h) —
-// no threads are spawned per call. Callers that need randomness derive one
-// RNG stream per *logical* worker via Rng::Split, so results are
-// reproducible for a fixed worker count regardless of the pool's physical
-// thread count.
+// no threads are spawned per call.
+//
+// `ParallelForStreams` is the variant every randomized component uses: it
+// partitions [0, n) into a FIXED grid of `kRngStreams` contiguous chunks —
+// a pure function of n, independent of the worker count — and hands each
+// chunk a stable stream index to derive its RNG from (Rng::Split(seed,
+// stream)). `workers` only bounds how many chunks execute concurrently, so
+// results are deterministic in the seed alone: the same n and seed yield
+// bit-identical output at any worker count and any physical thread count.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "common/random.h"
 #include "common/thread_pool.h"
 
 namespace uic {
 
 /// \brief Run `fn(worker_index, begin, end)` over a partition of [0, n) on
-/// the shared thread pool.
+/// the shared thread pool. The partition depends on `workers`; callers
+/// that seed RNGs per worker index get results deterministic in (seed,
+/// workers). Prefer `ParallelForStreams` for randomized work.
 inline void ParallelFor(
     size_t n, unsigned workers,
     const std::function<void(unsigned, size_t, size_t)>& fn) {
   ThreadPool::Shared().ParallelFor(n, workers, fn);
+}
+
+/// \brief Run `fn(stream, begin, end)` over the fixed `kRngStreams`-chunk
+/// partition of [0, n), executing at most `workers` chunks concurrently.
+///
+/// The (stream, begin, end) triples are a pure function of n. Callers
+/// accumulate into one slot per stream and reduce serially in stream order
+/// (streams < kRngStreams), which makes floating-point reductions
+/// bit-identical across worker counts too.
+inline void ParallelForStreams(
+    size_t n, unsigned workers,
+    const std::function<void(unsigned, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (workers == 0) workers = DefaultWorkers();
+  const size_t chunk = (n + kRngStreams - 1) / kRngStreams;
+  const size_t chunks = (n + chunk - 1) / chunk;
+  ThreadPool::Shared().ParallelFor(
+      chunks, workers, [&](unsigned, size_t cb, size_t ce) {
+        for (size_t c = cb; c < ce; ++c) {
+          const size_t begin = c * chunk;
+          const size_t end = begin + chunk < n ? begin + chunk : n;
+          fn(static_cast<unsigned>(c), begin, end);
+        }
+      });
 }
 
 }  // namespace uic

@@ -11,6 +11,16 @@
 
 namespace uic {
 
+/// Number of logical RNG streams every randomized component partitions
+/// its work onto (RR sampling's stream grid in rrset/rr_collection.h and
+/// the Monte-Carlo estimators' ParallelForStreams in common/parallel.h).
+/// FIXED — never derived from the worker count — so results are
+/// deterministic in the seed alone; chosen to match the default
+/// thread-pool ceiling (DefaultWorkers() caps at 16, thread_pool.h) so
+/// full hardware parallelism stays reachable. One constant on purpose:
+/// the two consumers must agree with each other and with that ceiling.
+inline constexpr unsigned kRngStreams = 16;
+
 /// \brief SplitMix64: used for seeding and stream splitting.
 class SplitMix64 {
  public:

@@ -46,18 +46,17 @@ double EstimateSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                       size_t num_simulations, uint64_t seed,
                       unsigned workers) {
   if (num_simulations == 0) return 0.0;
-  if (workers == 0) workers = DefaultWorkers();
   std::atomic<uint64_t> total{0};
-  ParallelFor(num_simulations, workers,
-              [&](unsigned w, size_t begin, size_t end) {
-                IcSimulator sim(graph);
-                Rng rng = Rng::Split(seed, w);
-                uint64_t local = 0;
-                for (size_t i = begin; i < end; ++i) {
-                  local += sim.RunOnce(seeds, rng);
-                }
-                total.fetch_add(local, std::memory_order_relaxed);
-              });
+  ParallelForStreams(num_simulations, workers,
+                     [&](unsigned s, size_t begin, size_t end) {
+                       IcSimulator sim(graph);
+                       Rng rng = Rng::Split(seed, s);
+                       uint64_t local = 0;
+                       for (size_t i = begin; i < end; ++i) {
+                         local += sim.RunOnce(seeds, rng);
+                       }
+                       total.fetch_add(local, std::memory_order_relaxed);
+                     });
   return static_cast<double>(total.load()) /
          static_cast<double>(num_simulations);
 }

@@ -29,8 +29,9 @@ class IcSimulator {
 
 /// \brief Monte-Carlo estimate of the influence spread σ(S).
 ///
-/// Runs `num_simulations` cascades split over `workers` threads with
-/// independent deterministic RNG streams derived from `seed`.
+/// Runs `num_simulations` cascades on the fixed stream grid (independent
+/// deterministic RNG streams derived from `seed`); the result depends on
+/// `seed` alone, `workers` only bounds concurrency.
 double EstimateSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                       size_t num_simulations, uint64_t seed,
                       unsigned workers = 0);

@@ -71,18 +71,17 @@ double EstimateSpreadLt(const Graph& graph, const std::vector<NodeId>& seeds,
                         size_t num_simulations, uint64_t seed,
                         unsigned workers) {
   if (num_simulations == 0) return 0.0;
-  if (workers == 0) workers = DefaultWorkers();
-  std::vector<double> totals(workers, 0.0);
-  ParallelFor(num_simulations, workers,
-              [&](unsigned w, size_t begin, size_t end) {
-                LtSimulator sim(graph);
-                Rng rng = Rng::Split(seed, w);
-                double local = 0.0;
-                for (size_t i = begin; i < end; ++i) {
-                  local += static_cast<double>(sim.RunOnce(seeds, rng));
-                }
-                totals[w] = local;
-              });
+  std::vector<double> totals(kRngStreams, 0.0);
+  ParallelForStreams(num_simulations, workers,
+                     [&](unsigned s, size_t begin, size_t end) {
+                       LtSimulator sim(graph);
+                       Rng rng = Rng::Split(seed, s);
+                       double local = 0.0;
+                       for (size_t i = begin; i < end; ++i) {
+                         local += static_cast<double>(sim.RunOnce(seeds, rng));
+                       }
+                       totals[s] = local;
+                     });
   double total = 0.0;
   for (double t : totals) total += t;
   return total / static_cast<double>(num_simulations);
@@ -165,29 +164,30 @@ WelfareEstimate EstimateWelfareLt(const Graph& graph,
                                   unsigned workers) {
   WelfareEstimate estimate;
   if (num_simulations == 0) return estimate;
-  if (workers == 0) workers = DefaultWorkers();
   struct Accum {
     double sum = 0.0, sum_sq = 0.0, adopters = 0.0, adoptions = 0.0;
   };
-  std::vector<Accum> per_worker(workers);
-  ParallelFor(num_simulations, workers,
-              [&](unsigned w, size_t begin, size_t end) {
-                UicLtSimulator sim(graph);
-                Rng rng = Rng::Split(seed, w);
-                Accum acc;
-                for (size_t i = begin; i < end; ++i) {
-                  const std::vector<double> noise = params.noise().Sample(rng);
-                  const UtilityTable table(params, noise);
-                  const UicOutcome out = sim.Run(allocation, table, rng);
-                  acc.sum += out.welfare;
-                  acc.sum_sq += out.welfare * out.welfare;
-                  acc.adopters += static_cast<double>(out.num_adopters);
-                  acc.adoptions += static_cast<double>(out.num_adoptions);
-                }
-                per_worker[w] = acc;
-              });
+  std::vector<Accum> per_stream(kRngStreams);
+  ParallelForStreams(num_simulations, workers,
+                     [&](unsigned s, size_t begin, size_t end) {
+                       UicLtSimulator sim(graph);
+                       Rng rng = Rng::Split(seed, s);
+                       Accum acc;
+                       for (size_t i = begin; i < end; ++i) {
+                         const std::vector<double> noise =
+                             params.noise().Sample(rng);
+                         const UtilityTable table(params, noise);
+                         const UicOutcome out = sim.Run(allocation, table, rng);
+                         acc.sum += out.welfare;
+                         acc.sum_sq += out.welfare * out.welfare;
+                         acc.adopters += static_cast<double>(out.num_adopters);
+                         acc.adoptions +=
+                             static_cast<double>(out.num_adoptions);
+                       }
+                       per_stream[s] = acc;
+                     });
   Accum total;
-  for (const Accum& a : per_worker) {
+  for (const Accum& a : per_stream) {
     total.sum += a.sum;
     total.sum_sq += a.sum_sq;
     total.adopters += a.adopters;

@@ -97,7 +97,6 @@ WelfareEstimate EstimateWelfare(const Graph& graph,
                                 unsigned workers) {
   WelfareEstimate estimate;
   if (num_simulations == 0) return estimate;
-  if (workers == 0) workers = DefaultWorkers();
 
   struct Accum {
     double sum = 0.0;
@@ -105,27 +104,31 @@ WelfareEstimate EstimateWelfare(const Graph& graph,
     double adopters = 0.0;
     double adoptions = 0.0;
   };
-  std::vector<Accum> per_worker(workers);
+  // Fixed-grid stream partition + serial stream-order reduction: the
+  // estimate is bit-identical at any worker count (see parallel.h).
+  std::vector<Accum> per_stream(kRngStreams);
 
-  ParallelFor(num_simulations, workers,
-              [&](unsigned w, size_t begin, size_t end) {
-                UicSimulator sim(graph);
-                Rng rng = Rng::Split(seed, w);
-                Accum acc;
-                for (size_t i = begin; i < end; ++i) {
-                  const std::vector<double> noise = params.noise().Sample(rng);
-                  const UtilityTable table(params, noise);
-                  const UicOutcome out = sim.Run(allocation, table, rng);
-                  acc.sum += out.welfare;
-                  acc.sum_sq += out.welfare * out.welfare;
-                  acc.adopters += static_cast<double>(out.num_adopters);
-                  acc.adoptions += static_cast<double>(out.num_adoptions);
-                }
-                per_worker[w] = acc;
-              });
+  ParallelForStreams(num_simulations, workers,
+                     [&](unsigned s, size_t begin, size_t end) {
+                       UicSimulator sim(graph);
+                       Rng rng = Rng::Split(seed, s);
+                       Accum acc;
+                       for (size_t i = begin; i < end; ++i) {
+                         const std::vector<double> noise =
+                             params.noise().Sample(rng);
+                         const UtilityTable table(params, noise);
+                         const UicOutcome out = sim.Run(allocation, table, rng);
+                         acc.sum += out.welfare;
+                         acc.sum_sq += out.welfare * out.welfare;
+                         acc.adopters += static_cast<double>(out.num_adopters);
+                         acc.adoptions +=
+                             static_cast<double>(out.num_adoptions);
+                       }
+                       per_stream[s] = acc;
+                     });
 
   Accum total;
-  for (const Accum& a : per_worker) {
+  for (const Accum& a : per_stream) {
     total.sum += a.sum;
     total.sum_sq += a.sum_sq;
     total.adopters += a.adopters;

@@ -81,7 +81,8 @@ class UicSimulator {
 /// \brief Monte-Carlo estimate of expected social welfare ρ(𝒮) (§3.3).
 ///
 /// Each simulation samples a fresh noise world and fresh edge world.
-/// Deterministic in (`seed`, `workers`).
+/// Deterministic in `seed` alone: simulations run on the fixed stream
+/// grid of `ParallelForStreams`, so `workers` only affects wall-clock.
 struct WelfareEstimate {
   double welfare = 0.0;        ///< mean of ρ_W over sampled worlds
   double std_error = 0.0;        ///< standard error of the mean

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace uic {
@@ -10,8 +11,14 @@ namespace uic {
 namespace {
 
 Result<Graph> ParseStream(std::istream& in, const EdgeListOptions& options) {
+  // Node ids are NodeId (uint32); without remapping a raw id IS the node
+  // id, so anything that would not survive the cast — or would make n =
+  // max_raw + 1 overflow — is rejected instead of silently truncated.
+  constexpr uint64_t kMaxRawId = uint64_t{UINT32_MAX} - 1;
+
   std::vector<Edge> edges;
   std::unordered_map<uint64_t, NodeId> remap;
+  std::unordered_set<uint64_t> seen;  // (u << 32 | v), strict mode only
   NodeId next_id = 0;
   uint64_t max_raw = 0;
 
@@ -36,6 +43,11 @@ Result<Graph> ParseStream(std::istream& in, const EdgeListOptions& options) {
       return Status::IOError("malformed edge at line " +
                              std::to_string(line_no));
     }
+    if (!options.remap_ids && (raw_u > kMaxRawId || raw_v > kMaxRawId)) {
+      return Status::OutOfRange("node id out of range at line " +
+                                std::to_string(line_no) +
+                                " (remap_ids is off)");
+    }
     double p = 0.0;
     if (options.read_probability) {
       if (!(ls >> p)) {
@@ -47,15 +59,31 @@ Result<Graph> ParseStream(std::istream& in, const EdgeListOptions& options) {
                                        std::to_string(line_no));
       }
     }
+    if (options.reject_self_loops && raw_u == raw_v) {
+      return Status::InvalidArgument("self-loop at line " +
+                                     std::to_string(line_no));
+    }
     const NodeId u = map_id(raw_u);
     const NodeId v = map_id(raw_v);
+    if (options.reject_duplicate_edges) {
+      const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+      if (!seen.insert(key).second) {
+        return Status::InvalidArgument("duplicate edge at line " +
+                                       std::to_string(line_no));
+      }
+      if (options.undirected && u != v) {
+        seen.insert((static_cast<uint64_t>(v) << 32) | u);
+      }
+    }
     edges.push_back({u, v, p});
     if (options.undirected) edges.push_back({v, u, p});
   }
 
+  // Checked before deriving n: without remapping, max_raw = 0 would
+  // otherwise turn an edge-free input into a plausible 1-node graph.
+  if (edges.empty()) return Status::InvalidArgument("empty edge list");
   const NodeId n = options.remap_ids ? next_id
                                      : static_cast<NodeId>(max_raw + 1);
-  if (n == 0) return Status::InvalidArgument("empty edge list");
   GraphBuilder builder(n);
   for (const Edge& e : edges) builder.AddEdge(e.from, e.to, e.prob);
   return builder.Build();

@@ -16,11 +16,20 @@ struct EdgeListOptions {
   bool read_probability = false;
   /// Remap arbitrary node ids to dense [0, n) (SNAP files often have gaps).
   bool remap_ids = true;
+  /// Reject self-loop lines ("u u") with InvalidArgument instead of the
+  /// default tolerant behavior (GraphBuilder silently drops them).
+  bool reject_self_loops = false;
+  /// Reject repeated (u, v) lines with InvalidArgument instead of the
+  /// default tolerant behavior (GraphBuilder keeps the max probability).
+  bool reject_duplicate_edges = false;
 };
 
 /// \brief Parse a whitespace-separated edge list ("u v [p]" per line).
 ///
 /// Lines starting with '#' or '%' are comments. Node count is inferred.
+/// Malformed lines, out-of-range node ids or probabilities, and (under the
+/// strict options) self-loops and duplicates all return a Status naming
+/// the offending line — never a crash or a silently corrupted graph.
 Result<Graph> LoadEdgeList(const std::string& path,
                            const EdgeListOptions& options = {});
 

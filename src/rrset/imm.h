@@ -37,6 +37,8 @@ struct ImResult {
 /// property is trivial for one budget). Returns k ordered seeds.
 /// `excluded` nodes are never selected as seeds (used by the disjoint
 /// baselines, which repeatedly call IMM on shrinking candidate sets).
+/// `rr_options.stream_cache` warm-starts the pools across calls (see
+/// prima.h); results are bit-identical warm or cold.
 ImResult Imm(const Graph& graph, size_t k, double eps, double ell,
              uint64_t seed, unsigned workers = 0,
              const std::vector<NodeId>& excluded = {},

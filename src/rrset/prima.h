@@ -33,7 +33,10 @@ namespace uic {
 /// of the returned ordering. ε > 0, ℓ > 0.
 /// `rr_options` selects the propagation model the RR sets are sampled
 /// under (IC by default; set `linear_threshold` for LT — Theorem 2 carries
-/// over to any triggering model, §5).
+/// over to any triggering model, §5). Setting `rr_options.stream_cache`
+/// warm-starts both the phase pool and the regeneration pool from a shared
+/// `RrStreamCache`: consecutive PRIMA calls at growing budgets (a sweep)
+/// then only sample each pool's delta, with bit-identical results.
 ImResult Prima(const Graph& graph, const std::vector<uint32_t>& budgets,
                double eps, double ell, uint64_t seed, unsigned workers = 0,
                const std::vector<NodeId>& excluded = {},

@@ -1,9 +1,22 @@
 #include "rrset/rr_collection.h"
 
+#include <array>
+
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "rrset/rr_stream_cache.h"
 
 namespace uic {
+
+namespace {
+
+/// Number of global set indices g < g0 with g % kRrStreams == s — i.e. the
+/// position stream `s` has reached once the pool holds g0 sets.
+inline size_t QuotBegin(size_t g0, unsigned s) {
+  return (g0 + kRrStreams - 1 - s) / kRrStreams;
+}
+
+}  // namespace
 
 RrSampler::RrSampler(const Graph& graph, RrOptions options)
     : graph_(graph),
@@ -85,22 +98,30 @@ size_t RrSampler::SampleRootedInto(NodeId root, Rng& rng,
 RrCollection::RrCollection(const Graph& graph, uint64_t seed,
                            unsigned workers, RrOptions options,
                            ThreadPool* pool)
-    : graph_(graph), options_(options), workers_(workers), pool_(pool) {
+    : graph_(graph),
+      options_(options),
+      workers_(workers),
+      pool_(pool),
+      seed_(seed),
+      cache_(options.stream_cache) {
   if (workers_ == 0) workers_ = DefaultWorkers();
   if (pool_ == nullptr) pool_ = &ThreadPool::Shared();
   SeedStreams(seed);
+  stream_pos_.assign(kRrStreams, 0);
   index_degree_.assign(graph_.num_nodes(), 0);
 }
 
 void RrCollection::SeedStreams(uint64_t seed) {
   streams_.clear();
-  streams_.reserve(workers_);
-  for (unsigned w = 0; w < workers_; ++w) {
-    streams_.push_back(Rng::Split(seed, w));
+  streams_.reserve(kRrStreams);
+  for (unsigned s = 0; s < kRrStreams; ++s) {
+    streams_.push_back(Rng::Split(seed, s));
   }
 }
 
 void RrCollection::Clear() {
+  // Stream positions (cold: the RNG states; warm: stream_pos_) persist, so
+  // growth after Clear continues the sample streams where they left off.
   sets_.clear();
   arenas_.clear();
   total_nodes_ = 0;
@@ -111,52 +132,112 @@ void RrCollection::Clear() {
 
 void RrCollection::Reset(uint64_t seed) {
   Clear();
+  seed_ = seed;
   SeedStreams(seed);
+  stream_pos_.assign(kRrStreams, 0);
+  cache_entry_ = nullptr;  // re-bound (to the new seed's entry) on next growth
 }
 
 void RrCollection::GenerateUntil(size_t target) {
   if (target <= size()) return;
-  const size_t need = target - size();
-  // Each logical worker samples a deterministic slice into its own arena
-  // using its persistent stream; arenas are appended in worker order so
-  // the pool content depends only on (seed, workers) and the sequence of
-  // targets — never on scheduling or the physical thread count.
-  struct WorkerOut {
+  const size_t first = sets_.size();
+  if (cache_ != nullptr) {
+    GenerateFromCache(first, target);
+  } else {
+    GenerateFresh(first, target);
+  }
+  UIC_CHECK_GE(size(), target);
+  ExtendIndex(first);
+}
+
+void RrCollection::GenerateFresh(size_t first, size_t target) {
+  // Each logical stream samples its slice of [first, target) — the global
+  // indices g with g % kRrStreams == s, i.e. the next QuotBegin(target, s)
+  // − QuotBegin(first, s) draws of its persistent RNG — into its own
+  // arena. `workers_` only bounds how many streams run concurrently; the
+  // pool content depends on the seed alone.
+  struct StreamOut {
     std::vector<uint32_t> sizes;
     std::vector<NodeId> nodes;
     size_t edges = 0;
   };
-  std::vector<WorkerOut> outs(workers_);
-  pool_->ParallelFor(need, workers_, [&](unsigned w, size_t begin, size_t end) {
-    RrSampler sampler(graph_, options_);
-    WorkerOut& out = outs[w];
-    std::vector<NodeId> buf;
-    for (size_t i = begin; i < end; ++i) {
-      out.edges += sampler.SampleInto(streams_[w], &buf);
-      out.sizes.push_back(static_cast<uint32_t>(buf.size()));
-      out.nodes.insert(out.nodes.end(), buf.begin(), buf.end());
-    }
-  });
-  const size_t first_new = sets_.size();
-  sets_.reserve(first_new + need);
-  for (WorkerOut& out : outs) {
+  std::array<StreamOut, kRrStreams> outs;
+  pool_->ParallelFor(
+      kRrStreams, workers_, [&](unsigned, size_t sb, size_t se) {
+        for (size_t s = sb; s < se; ++s) {
+          const size_t q0 = QuotBegin(first, static_cast<unsigned>(s));
+          const size_t q1 = QuotBegin(target, static_cast<unsigned>(s));
+          if (q1 <= q0) continue;
+          RrSampler sampler(graph_, options_);
+          StreamOut& out = outs[s];
+          std::vector<NodeId> buf;
+          for (size_t q = q0; q < q1; ++q) {
+            out.edges += sampler.SampleInto(streams_[s], &buf);
+            out.sizes.push_back(static_cast<uint32_t>(buf.size()));
+            out.nodes.insert(out.nodes.end(), buf.begin(), buf.end());
+          }
+        }
+      });
+
+  // Merge by move: each stream arena becomes collection storage as-is (its
+  // heap buffer, and thus every SetRef into it, stays stable), then the
+  // SetRefs are laid down in global-index order.
+  sets_.reserve(target);
+  std::array<const NodeId*, kRrStreams> base{};
+  std::array<size_t, kRrStreams> off{};
+  std::array<size_t, kRrStreams> idx{};
+  for (unsigned s = 0; s < kRrStreams; ++s) {
+    StreamOut& out = outs[s];
     edges_examined_ += out.edges;
     total_nodes_ += out.nodes.size();
-    const NodeId* base = nullptr;
+    stream_pos_[s] += out.sizes.size();
     if (!out.nodes.empty()) {
-      // Merge by move: the worker arena becomes collection storage as-is;
-      // its heap buffer (and thus every SetRef into it) stays stable.
       arenas_.push_back(std::move(out.nodes));
-      base = arenas_.back().data();
-    }
-    size_t off = 0;
-    for (uint32_t s : out.sizes) {
-      sets_.push_back(SetRef{base + off, s});
-      off += s;
+      base[s] = arenas_.back().data();
     }
   }
-  UIC_CHECK_GE(size(), target);
-  ExtendIndex(first_new);
+  for (size_t g = first; g < target; ++g) {
+    const unsigned s = static_cast<unsigned>(g % kRrStreams);
+    const uint32_t sz = outs[s].sizes[idx[s]++];
+    sets_.push_back(SetRef{base[s] + off[s], sz});
+    off[s] += sz;
+  }
+}
+
+void RrCollection::GenerateFromCache(size_t first, size_t target) {
+  auto* entry = static_cast<RrStreamCache::Entry*>(cache_entry_);
+  if (entry == nullptr) {
+    cache_->BindGraph(graph_);
+    entry = cache_->GetEntry(seed_, options_);
+    cache_entry_ = entry;
+  }
+  // Extend the cache streams (in parallel) past this round's high-water
+  // marks; streams already long enough cost nothing.
+  pool_->ParallelFor(
+      kRrStreams, workers_, [&](unsigned, size_t sb, size_t se) {
+        for (size_t s = sb; s < se; ++s) {
+          const unsigned su = static_cast<unsigned>(s);
+          const size_t grow = QuotBegin(target, su) - QuotBegin(first, su);
+          if (grow == 0) continue;
+          cache_->EnsureSamples(entry, su, stream_pos_[s] + grow);
+        }
+      });
+
+  // Serve the slices — byte-for-byte the sets GenerateFresh would have
+  // drawn, since cache streams replay the same RNG sequences.
+  sets_.reserve(target);
+  std::array<size_t, kRrStreams> taken{};
+  for (size_t g = first; g < target; ++g) {
+    const unsigned s = static_cast<unsigned>(g % kRrStreams);
+    const RrStreamCache::Sample& smp =
+        entry->streams[s].samples[stream_pos_[s] + taken[s]];
+    ++taken[s];
+    sets_.push_back(SetRef{smp.data, smp.size});
+    total_nodes_ += smp.size;
+    edges_examined_ += smp.edges;
+  }
+  for (unsigned s = 0; s < kRrStreams; ++s) stream_pos_[s] += taken[s];
+  cache_->served_sets_ += target - first;
 }
 
 void RrCollection::ExtendIndex(size_t first_new) {

@@ -8,15 +8,22 @@
 // `RrCollection` is the RR engine's state: a growing pool of RR sets plus
 // the inverted node→RR-set coverage index NodeSelection consumes, both
 // maintained *incrementally* — every `GenerateUntil` round appends
-// per-worker arenas by move and extends the index with a CSR delta built
+// per-stream arenas by move and extends the index with a CSR delta built
 // in parallel, so nothing is recomputed when the pool only grows. All
 // parallel work runs on a persistent `ThreadPool` (the process-wide
 // shared pool by default); no threads are spawned per round.
 //
-// Generation is deterministic in (seed, workers): each logical worker owns
-// a persistent RNG stream and a fixed slice of every growth round, so the
-// same target sequence always yields the same pool and index, independent
-// of the thread pool's physical size.
+// Generation is deterministic in the seed ALONE: the pool is a fixed grid
+// of `kRrStreams` logical sample streams, and RR set g is always drawn as
+// sample g / kRrStreams of stream g % kRrStreams. Pool content at any size
+// is therefore a pure function of (graph, options, seed) — independent of
+// the worker count, the physical thread count, and the sequence of
+// `GenerateUntil` targets used to reach that size. Two consequences the
+// rest of the system builds on:
+//   * every solver above the engine is worker-count invariant, and
+//   * any pool is a prefix of one deterministic infinite sequence, so a
+//     sweep can serve it warm from an `RrStreamCache` (rr_stream_cache.h)
+//     with bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,11 @@
 namespace uic {
 
 class ThreadPool;
+class RrStreamCache;
+
+/// Number of logical RR sample streams — the RR engine's name for the
+/// process-wide stream-grid width (one constant, common/random.h).
+inline constexpr unsigned kRrStreams = kRngStreams;
 
 /// \brief Options modifying RR sampling semantics.
 struct RrOptions {
@@ -44,21 +56,31 @@ struct RrOptions {
   /// probability w(u,v), none with 1 − Σ w), so an LT RR set is a reverse
   /// random walk. Requires Σ_u w(u,v) <= 1 per node.
   bool linear_threshold = false;
+
+  /// Optional warm-start hook (the sweep engine's pool-reuse point): when
+  /// set, `GenerateUntil` serves samples from the cache — extending it by
+  /// sampling only past its high-water mark — instead of drawing them
+  /// fresh. Results are bit-identical to a cold collection; only the
+  /// number of sets sampled from scratch changes. Does not affect
+  /// sampling semantics, so it is ignored by the cache's own entry
+  /// keying. The cache must outlive the collection.
+  RrStreamCache* stream_cache = nullptr;
 };
 
 /// \brief A pool of RR sets with deterministic parallel growth and an
 /// incrementally maintained node→RR-set coverage index.
 class RrCollection {
  public:
-  /// `pool` is the thread pool parallel growth runs on; nullptr means the
-  /// process-wide `ThreadPool::Shared()`. The pool must outlive the
-  /// collection.
+  /// `workers` bounds how many streams are processed concurrently (0 =
+  /// `DefaultWorkers()`); it does NOT affect pool content. `pool` is the
+  /// thread pool parallel growth runs on; nullptr means the process-wide
+  /// `ThreadPool::Shared()`. The pool must outlive the collection.
   RrCollection(const Graph& graph, uint64_t seed, unsigned workers = 0,
                RrOptions options = {}, ThreadPool* pool = nullptr);
 
   // Not copyable: SetRef entries point into this collection's arena
-  // buffers, so a copy would alias storage the source frees on
-  // Clear()/destruction.
+  // buffers (or a shared RrStreamCache's), so a copy would alias storage
+  // the source frees on Clear()/destruction.
   RrCollection(const RrCollection&) = delete;
   RrCollection& operator=(const RrCollection&) = delete;
 
@@ -86,14 +108,15 @@ class RrCollection {
 
   /// Drop all sets and the index (used by the regeneration fix of
   /// PRIMA/IMM: the final NodeSelection must run on freshly sampled sets).
+  /// Stream positions persist: subsequent growth continues the streams
+  /// where they left off, exactly as the underlying RNGs would.
   void Clear();
 
-  /// Clear *and* reseed the per-worker RNG streams: the collection becomes
+  /// Clear *and* reseed the sample streams: the collection becomes
   /// indistinguishable from a freshly constructed `RrCollection(graph,
-  /// seed, workers, options)` while keeping its thread pool and index
-  /// scratch (arena buffers are owned by the pool contents and freed with
-  /// them). This is how one engine instance serves a whole solver
-  /// invocation, including PRIMA's regeneration pass.
+  /// seed, workers, options)` while keeping its thread pool and any
+  /// attached stream cache. This is how one engine instance serves a
+  /// whole solver invocation, including PRIMA's regeneration pass.
   void Reset(uint64_t seed);
 
   // --- Coverage index ---------------------------------------------------
@@ -120,9 +143,10 @@ class RrCollection {
   size_t IndexDeltaCount() const { return index_.size(); }
 
  private:
-  /// An RR set lives contiguously inside one of the moved-in worker
-  /// arenas; arena buffers are never touched after the move, so the
-  /// pointer stays valid until Clear().
+  /// An RR set lives contiguously inside one of the per-stream arenas
+  /// (owned by this collection, or by the attached stream cache); arena
+  /// buffers are never touched after the move, so the pointer stays valid
+  /// until Clear() (resp. cache destruction).
   struct SetRef {
     const NodeId* data;
     uint32_t size;
@@ -141,6 +165,14 @@ class RrCollection {
 
   void SeedStreams(uint64_t seed);
 
+  /// Cold growth: draw this round's per-stream slices from the
+  /// collection-owned RNG streams into fresh arenas.
+  void GenerateFresh(size_t first, size_t target);
+
+  /// Warm growth: serve this round's slices from the attached stream
+  /// cache, extending the cache past its high-water mark as needed.
+  void GenerateFromCache(size_t first, size_t target);
+
   /// Build the CSR delta for the new sets [first_new, size()) in parallel
   /// and append it to the index, merging deltas per the tiering policy.
   void ExtendIndex(size_t first_new);
@@ -157,9 +189,14 @@ class RrCollection {
   RrOptions options_;
   unsigned workers_;
   ThreadPool* pool_;
-  std::vector<Rng> streams_;
+  uint64_t seed_;
+  std::vector<Rng> streams_;       ///< cold-path RNGs, one per logical stream
+  std::vector<size_t> stream_pos_; ///< samples consumed per stream since Reset
 
-  std::vector<std::vector<NodeId>> arenas_;  ///< moved-in worker buffers
+  RrStreamCache* cache_ = nullptr;       ///< nullptr = cold
+  void* cache_entry_ = nullptr;          ///< RrStreamCache::Entry*, lazily bound
+
+  std::vector<std::vector<NodeId>> arenas_;  ///< moved-in stream buffers
   std::vector<SetRef> sets_;
   size_t total_nodes_ = 0;
   size_t edges_examined_ = 0;

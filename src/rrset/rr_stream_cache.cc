@@ -1,0 +1,119 @@
+#include "rrset/rr_stream_cache.h"
+
+#include "common/check.h"
+
+namespace uic {
+
+RrStreamCache::Stats RrStreamCache::stats() const {
+  Stats s;
+  s.sampled_sets = sampled_sets_.load(std::memory_order_relaxed);
+  s.sampled_nodes = sampled_nodes_.load(std::memory_order_relaxed);
+  s.served_sets = served_sets_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void RrStreamCache::Clear() {
+  entries_.clear();
+  graph_ = nullptr;
+  // The sampled/served counters deliberately persist: they are monotone
+  // over the cache's lifetime, so per-point deltas stay meaningful across
+  // Clears (the cold-sweep mode clears between points) and Trims.
+}
+
+void RrStreamCache::TrimPassProbEntries(size_t keep) {
+  size_t with_coins = 0;
+  for (const auto& e : entries_) with_coins += e->has_pass_prob;
+  if (with_coins <= keep) return;
+  size_t drop = with_coins - keep;
+  // entries_ is in creation order; drop the oldest coin entries first.
+  std::vector<std::unique_ptr<Entry>> kept;
+  kept.reserve(entries_.size() - drop);
+  for (auto& e : entries_) {
+    if (e->has_pass_prob && drop > 0) {
+      --drop;
+      continue;
+    }
+    kept.push_back(std::move(e));
+  }
+  entries_ = std::move(kept);
+}
+
+void RrStreamCache::BindGraph(const Graph& graph) {
+  if (graph_ == nullptr) {
+    graph_ = &graph;
+    return;
+  }
+  UIC_CHECK_MSG(graph_ == &graph,
+                "RrStreamCache is bound to a different graph; one cache "
+                "serves one network (Clear() it to rebind)");
+}
+
+RrStreamCache::Entry* RrStreamCache::GetEntry(uint64_t seed,
+                                              const RrOptions& options) {
+  const bool has_pp = options.node_pass_prob != nullptr;
+  for (const auto& e : entries_) {
+    if (e->seed != seed || e->linear_threshold != options.linear_threshold ||
+        e->has_pass_prob != has_pp) {
+      continue;
+    }
+    // Pass probabilities are keyed by *contents* (callers typically rebuild
+    // the vector per invocation), so equal coins reuse the entry and
+    // different coins — e.g. a different i2 seed set — get their own.
+    if (has_pp && e->pass_prob != *options.node_pass_prob) continue;
+    return e.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->seed = seed;
+  e->linear_threshold = options.linear_threshold;
+  e->has_pass_prob = has_pp;
+  if (has_pp) e->pass_prob = *options.node_pass_prob;
+  e->streams.resize(kRrStreams);
+  for (unsigned s = 0; s < kRrStreams; ++s) {
+    // Must match RrCollection::SeedStreams so cached draws replay exactly
+    // the cold RNG sequences.
+    e->streams[s].rng = Rng::Split(seed, s);
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+void RrStreamCache::EnsureSamples(Entry* entry, unsigned s, size_t count) {
+  Stream& stream = entry->streams[s];
+  if (stream.samples.size() >= count) return;
+  UIC_CHECK(graph_ != nullptr);
+
+  RrOptions options;
+  options.linear_threshold = entry->linear_threshold;
+  if (entry->has_pass_prob) options.node_pass_prob = &entry->pass_prob;
+  RrSampler sampler(*graph_, options);
+
+  // Draw the whole extension into one arena, then publish the sample refs
+  // (arena buffers are never touched again, so the pointers stay stable
+  // for the cache's lifetime).
+  struct Meta {
+    size_t offset;
+    uint32_t size;
+    size_t edges;
+  };
+  const size_t need = count - stream.samples.size();
+  std::vector<Meta> metas;
+  metas.reserve(need);
+  std::vector<NodeId> nodes;
+  std::vector<NodeId> buf;
+  for (size_t i = 0; i < need; ++i) {
+    const size_t edges = sampler.SampleInto(stream.rng, &buf);
+    metas.push_back({nodes.size(), static_cast<uint32_t>(buf.size()), edges});
+    nodes.insert(nodes.end(), buf.begin(), buf.end());
+  }
+  sampled_sets_.fetch_add(need, std::memory_order_relaxed);
+  sampled_nodes_.fetch_add(nodes.size(), std::memory_order_relaxed);
+  stream.arenas.push_back(std::move(nodes));
+  const NodeId* base = stream.arenas.back().data();
+  stream.samples.reserve(count);
+  for (const Meta& m : metas) {
+    stream.samples.push_back(Sample{base + m.offset, m.size, m.edges});
+  }
+}
+
+}  // namespace uic

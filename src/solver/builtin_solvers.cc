@@ -71,6 +71,9 @@ ComIcBaselineOptions ToComIcOptions(const SolverOptions& o) {
   comic.eps = o.eps;
   comic.ell = o.ell;
   comic.cim_forward_simulations = o.comic.cim_forward_simulations;
+  // The pool-reuse hook reaches the Com-IC samplers too (their node-coin
+  // pools key cache entries by coin contents, so reuse stays sound).
+  comic.stream_cache = o.rr_options.stream_cache;
   return comic;
 }
 

@@ -84,6 +84,14 @@ struct SolverOptions {
 
   /// RR sampling semantics for the IMM/PRIMA-based solvers. The problem's
   /// DiffusionModel still wins: kLinearThreshold forces LT sampling.
+  ///
+  /// `rr_options.stream_cache` is the pool-reuse hook the sweep engine
+  /// uses (exp/sweep.h): point it at an `RrStreamCache` and every RR pool
+  /// the solver builds — PRIMA/IMM phase pools, regeneration pools, the
+  /// Com-IC coin pools — is served warm from the cache, sampling only the
+  /// delta past its high-water mark. Allocations are bit-identical to a
+  /// cold run; the cache must outlive the Solve call and is not
+  /// thread-safe across concurrent solves.
   RrOptions rr_options;
 
   McGreedySolverOptions mc_greedy;

@@ -1,0 +1,89 @@
+# Golden end-to-end regression over the uic_run binary (ISSUE 4).
+#
+# Drives the real CLI on pinned tiny networks and compares the reports
+# byte-for-byte with tests/golden/ (all invocations use --no-timing, the
+# only nondeterministic column), then checks the error paths exit nonzero.
+# Everything the reports contain — generator topology, RR pools, seed
+# selection, welfare estimation — is deterministic in the flags alone
+# (pool content depends on the seed only; see rr_collection.h), so an
+# exact match is the right bar.
+#
+# Usage:
+#   cmake -DUIC_RUN=<binary> -DGOLDEN_DIR=<dir> -DWORK_DIR=<dir>
+#         -P golden_uic_run.cmake
+
+if(NOT UIC_RUN OR NOT GOLDEN_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "golden_uic_run.cmake needs -DUIC_RUN, -DGOLDEN_DIR and -DWORK_DIR")
+endif()
+
+function(run_and_compare name golden)
+  execute_process(
+    COMMAND ${UIC_RUN} ${ARGN}
+    OUTPUT_VARIABLE got
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name}: uic_run exited with ${rc}\nstderr:\n${err}")
+  endif()
+  file(READ ${GOLDEN_DIR}/${golden} want)
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR "${name}: report differs from ${golden}\n"
+                        "--- got ---\n${got}\n--- want ---\n${want}")
+  endif()
+  message(STATUS "${name}: exact match against ${golden}")
+endfunction()
+
+function(expect_nonzero_exit name)
+  execute_process(
+    COMMAND ${UIC_RUN} ${ARGN}
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${name}: expected a nonzero exit, got success")
+  endif()
+  message(STATUS "${name}: failed as expected (${rc})")
+endfunction()
+
+# --- golden report matches --------------------------------------------
+
+run_and_compare(bundle_grd_report uic_run_bundle_grd.txt
+  --algorithm bundle-grd --network er --nodes 200 --edges 1200 --net-seed 5
+  --budget 3 --mc 200 --eval-seed 9 --seed 4 --workers 2 --no-timing)
+
+run_and_compare(bdhs_report uic_run_bdhs.txt
+  --algorithm bdhs --network er --nodes 150 --edges 900 --net-seed 5
+  --budget 2 --mc 100 --eval-seed 9 --seed 4 --workers 2 --no-timing)
+
+# Sweep mode: the CSV report (warm reuse across three budget points, two
+# algorithms) must match byte-for-byte too.
+execute_process(
+  COMMAND ${UIC_RUN} --sweep 2:6:2 --algorithms bundle-grd,bdhs
+          --network er --nodes 200 --edges 1200 --net-seed 5
+          --mc 200 --eval-seed 9 --seed 4 --workers 2 --no-timing
+          --report-csv ${WORK_DIR}/sweep_report.csv
+  OUTPUT_QUIET ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sweep_report: uic_run exited with ${rc}\n${err}")
+endif()
+file(READ ${WORK_DIR}/sweep_report.csv got)
+file(READ ${GOLDEN_DIR}/uic_run_sweep.csv want)
+if(NOT got STREQUAL want)
+  message(FATAL_ERROR "sweep_report: CSV differs from golden\n"
+                      "--- got ---\n${got}\n--- want ---\n${want}")
+endif()
+message(STATUS "sweep_report: exact match against uic_run_sweep.csv")
+
+# --- error paths exit nonzero -----------------------------------------
+
+expect_nonzero_exit(unknown_algorithm
+  --algorithm no-such-algorithm --network er --nodes 50 --edges 200)
+expect_nonzero_exit(unknown_network
+  --algorithm bundle-grd --network mars)
+expect_nonzero_exit(malformed_numeric_flag
+  --algorithm bundle-grd --network er --nodes 50 --edges 200 --budget xyz)
+expect_nonzero_exit(malformed_budget_list
+  --algorithm bundle-grd --network er --nodes 50 --edges 200 --budgets 3,,4)
+expect_nonzero_exit(malformed_sweep_spec
+  --sweep 10:5:2 --algorithms bundle-grd --network er --nodes 50 --edges 200)
+expect_nonzero_exit(missing_algorithm_flag
+  --network er --nodes 50 --edges 200)

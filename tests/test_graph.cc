@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "graph/generators.h"
 #include "graph/loaders.h"
 #include "graph/subgraph.h"
@@ -192,6 +194,100 @@ TEST(Loaders, RejectsOutOfRangeProbability) {
   options.read_probability = true;
   auto result = ParseEdgeList("0 1 1.5\n", options);
   EXPECT_FALSE(result.ok());
+}
+
+// --- error-path coverage: every bad input is a clean Status, never a
+// crash or a silently corrupted graph (ISSUE 4) -------------------------
+
+TEST(Loaders, MalformedLinesNameTheOffendingLine) {
+  for (const char* text : {"0\n", "a b\n", "0 1\n1\n", "0 1\n- 2\n"}) {
+    auto result = ParseEdgeList(text);
+    ASSERT_FALSE(result.ok()) << "input: " << text;
+    EXPECT_EQ(result.status().code(), Status::Code::kIOError) << text;
+    EXPECT_NE(result.status().message().find("line"), std::string::npos)
+        << text;
+  }
+  // A missing third column is malformed when probabilities are expected.
+  EdgeListOptions with_probs;
+  with_probs.read_probability = true;
+  auto result = ParseEdgeList("0 1 0.5\n1 2\n", with_probs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Loaders, RejectsOutOfRangeNodeIdsWithoutRemap) {
+  // Without remapping a raw id is the node id; 2^40 would previously be
+  // silently truncated by the uint32 cast. Now: clean OutOfRange.
+  EdgeListOptions options;
+  options.remap_ids = false;
+  auto result = ParseEdgeList("0 1099511627776\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kOutOfRange);
+  // The same id is fine when remapping is on.
+  EXPECT_TRUE(ParseEdgeList("0 1099511627776\n").ok());
+}
+
+TEST(Loaders, DuplicateEdgesTolerantByDefaultRejectedWhenStrict) {
+  const std::string text = "0 1\n1 2\n0 1\n";
+  auto tolerant = ParseEdgeList(text);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant.value().num_edges(), 2u);  // deduplicated
+
+  EdgeListOptions strict;
+  strict.reject_duplicate_edges = true;
+  auto rejected = ParseEdgeList(text, strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("line 3"), std::string::npos);
+
+  // The undirected mirror of an already-seen edge counts as a duplicate.
+  EdgeListOptions strict_undirected = strict;
+  strict_undirected.undirected = true;
+  auto mirrored = ParseEdgeList("0 1\n1 0\n", strict_undirected);
+  ASSERT_FALSE(mirrored.ok());
+  EXPECT_EQ(mirrored.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(Loaders, SelfLoopsTolerantByDefaultRejectedWhenStrict) {
+  const std::string text = "0 1\n1 1\n";
+  auto tolerant = ParseEdgeList(text);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant.value().num_edges(), 1u);  // loop dropped
+
+  EdgeListOptions strict;
+  strict.reject_self_loops = true;
+  auto rejected = ParseEdgeList(text, strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("self-loop"), std::string::npos);
+}
+
+TEST(Loaders, EdgeFreeInputIsAnErrorWithAndWithoutRemap) {
+  for (const bool remap : {true, false}) {
+    EdgeListOptions options;
+    options.remap_ids = remap;
+    for (const char* text : {"", "# only comments\n% here\n"}) {
+      auto result = ParseEdgeList(text, options);
+      ASSERT_FALSE(result.ok()) << "remap=" << remap;
+      EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+    }
+  }
+}
+
+TEST(Loaders, LoadEdgeListSurfacesFileAndParseErrors) {
+  auto missing = LoadEdgeList("/nonexistent/uic-no-such-file.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kIOError);
+
+  const std::string path = "/tmp/uic_test_bad_edges.txt";
+  {
+    std::ofstream out(path);
+    out << "0 1\nbroken line\n";
+  }
+  EdgeListOptions options;
+  auto parsed = LoadEdgeList(path, options);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(Loaders, RoundTripsThroughSaveAndLoad) {

@@ -1,10 +1,12 @@
 // Determinism, equivalence, and index-maintenance tests for the RR engine
 // (persistent thread pool + RrCollection + index-driven NodeSelection).
 //
-// The GOLDEN_* constants below were captured from the pre-refactor engine
-// (fork-join ParallelFor, copy-merge pool, per-call index build in
-// NodeSelection) at the same seeds; matching them proves the refactor is
-// bit-identical, not merely statistically equivalent.
+// The GOLDEN_* constants pin the stream-grid engine (fixed kRrStreams
+// logical streams, RR set g = sample g/kRrStreams of stream g%kRrStreams):
+// pool content is a pure function of (graph, options, seed), so ONE golden
+// covers every worker count and every growth schedule. The invariance
+// tests below assert exactly that; the warm-cache tests assert that an
+// RrStreamCache replays the same streams byte-for-byte.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,28 +20,21 @@
 #include "rrset/node_selection.h"
 #include "rrset/prima.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_stream_cache.h"
 
 namespace uic {
 namespace {
 
-// --- golden values from the pre-refactor engine -----------------------
-constexpr uint64_t kGoldenIcPoolHashW1 = 0xcb1eb66d623fbd39ULL;
-constexpr uint64_t kGoldenIcPoolHashW4 = 0x03668bcb39438cecULL;
-constexpr uint64_t kGoldenLtPoolHash = 0xe0b392891fdf9e83ULL;
-constexpr uint64_t kGoldenCoverageHashW1 = 0xcb5440a3ffc4df19ULL;
-constexpr uint64_t kGoldenCoverageHashW4 = 0x80088ddc99185bb4ULL;
-const std::vector<NodeId> kGoldenSeedsW1 = {
-    98, 44, 34, 97, 92, 62, 89, 119, 82, 54, 24, 40, 103,
-    41, 32, 148, 58, 113, 176, 94, 57, 14, 48, 56, 180};
-const std::vector<NodeId> kGoldenSeedsW4 = {
-    98, 44, 34, 109, 62, 97, 103, 47, 18, 113, 153, 189, 119,
-    82, 50, 6, 94, 48, 53, 126, 32, 183, 58, 68, 199};
-const std::vector<NodeId> kGoldenPrimaSeedsW4 = {202, 89, 136, 284, 52,
-                                                 242, 187, 248, 296, 79};
-const std::vector<NodeId> kGoldenPrimaSeedsW1 = {63, 89, 185, 242, 138,
-                                                 136, 93, 284, 79, 296};
-constexpr size_t kGoldenPrimaRrSetsW4 = 2247;
-constexpr size_t kGoldenPrimaRrSetsW1 = 2319;
+// --- golden values pinned from the stream-grid engine ------------------
+constexpr uint64_t kGoldenIcPoolHash = 0xc50df440a80a50c4ULL;
+constexpr uint64_t kGoldenLtPoolHash = 0xc46b2e9a1265f51cULL;
+constexpr uint64_t kGoldenCoverageHash = 0x4b4cce635b7fd6a9ULL;
+const std::vector<NodeId> kGoldenSeeds = {
+    98, 44, 62, 43, 113, 65, 61, 18, 14, 94, 10, 179, 109,
+    189, 47, 97, 147, 48, 199, 30, 96, 54, 82, 134, 172};
+const std::vector<NodeId> kGoldenPrimaSeeds = {25, 85, 166, 89, 79,
+                                               100, 296, 202, 279, 116};
+constexpr size_t kGoldenPrimaRrSets = 2282;
 
 uint64_t Fnv1a(uint64_t h, uint64_t x) {
   for (int i = 0; i < 8; ++i) {
@@ -183,26 +178,38 @@ SeedSelection ReferenceNodeSelection(const RrCollection& collection, size_t k,
   return result;
 }
 
-// --- old-vs-new golden equivalence ------------------------------------
+// --- pinned goldens + seed-only determinism ---------------------------
 
-TEST(RrEngineGolden, IcPoolMatchesPreRefactorEngine) {
+TEST(RrEngineGolden, IcPoolMatchesPinnedGoldenAtAnyWorkerCount) {
   Graph g = GoldenGraph();
-  for (const auto& [workers, pool_hash, seeds, coverage_hash] :
-       {std::tuple{1u, kGoldenIcPoolHashW1, kGoldenSeedsW1,
-                   kGoldenCoverageHashW1},
-        std::tuple{4u, kGoldenIcPoolHashW4, kGoldenSeedsW4,
-                   kGoldenCoverageHashW4}}) {
+  // One golden for every worker count: pool content is a pure function of
+  // (graph, options, seed).
+  for (unsigned workers : {1u, 4u, 8u}) {
     RrCollection pool(g, 42, workers);
     pool.GenerateUntil(777);
-    pool.GenerateUntil(2000);  // same growth schedule as the capture run
-    EXPECT_EQ(PoolHash(pool), pool_hash) << "workers=" << workers;
+    pool.GenerateUntil(2000);
+    EXPECT_EQ(PoolHash(pool), kGoldenIcPoolHash) << "workers=" << workers;
     const SeedSelection sel = NodeSelection(pool, 25);
-    EXPECT_EQ(sel.seeds, seeds) << "workers=" << workers;
-    EXPECT_EQ(CoverageHash(sel), coverage_hash) << "workers=" << workers;
+    EXPECT_EQ(sel.seeds, kGoldenSeeds) << "workers=" << workers;
+    EXPECT_EQ(CoverageHash(sel), kGoldenCoverageHash) << "workers=" << workers;
   }
 }
 
-TEST(RrEngineGolden, LtPoolMatchesPreRefactorEngine) {
+TEST(RrEngineGolden, PoolIsIndependentOfGrowthSchedule) {
+  // The same golden must come out however the pool grows to 2000: RR set g
+  // is always sample g/kRrStreams of stream g%kRrStreams.
+  Graph g = GoldenGraph();
+  RrCollection one_shot(g, 42, 4);
+  one_shot.GenerateUntil(2000);
+  EXPECT_EQ(PoolHash(one_shot), kGoldenIcPoolHash);
+  RrCollection many(g, 42, 4);
+  for (size_t target : {3ul, 50ul, 51ul, 700ul, 1999ul, 2000ul}) {
+    many.GenerateUntil(target);
+  }
+  EXPECT_EQ(PoolHash(many), kGoldenIcPoolHash);
+}
+
+TEST(RrEngineGolden, LtPoolMatchesPinnedGolden) {
   Graph g = GoldenGraph();
   RrOptions opt;
   opt.linear_threshold = true;
@@ -211,15 +218,157 @@ TEST(RrEngineGolden, LtPoolMatchesPreRefactorEngine) {
   EXPECT_EQ(PoolHash(pool), kGoldenLtPoolHash);
 }
 
-TEST(RrEngineGolden, PrimaSeedsMatchPreRefactorEngine) {
+TEST(RrEngineGolden, PrimaSeedsMatchPinnedGoldenAtAnyWorkerCount) {
   Graph g = GenerateErdosRenyi(300, 1800, 3);
   g.ApplyWeightedCascade();
   const ImResult r4 = Prima(g, {10, 5, 3}, 0.5, 1.0, 11, 4);
-  EXPECT_EQ(r4.seeds, kGoldenPrimaSeedsW4);
-  EXPECT_EQ(r4.num_rr_sets, kGoldenPrimaRrSetsW4);
+  EXPECT_EQ(r4.seeds, kGoldenPrimaSeeds);
+  EXPECT_EQ(r4.num_rr_sets, kGoldenPrimaRrSets);
   const ImResult r1 = Prima(g, {10, 5, 3}, 0.5, 1.0, 11, 1);
-  EXPECT_EQ(r1.seeds, kGoldenPrimaSeedsW1);
-  EXPECT_EQ(r1.num_rr_sets, kGoldenPrimaRrSetsW1);
+  EXPECT_EQ(r1.seeds, kGoldenPrimaSeeds);
+  EXPECT_EQ(r1.num_rr_sets, kGoldenPrimaRrSets);
+}
+
+// --- warm stream-cache equivalence ------------------------------------
+
+TEST(RrStreamCacheTest, WarmPoolIsBitIdenticalToCold) {
+  Graph g = GoldenGraph();
+  RrStreamCache cache;
+  RrOptions warm_opt;
+  warm_opt.stream_cache = &cache;
+  RrCollection warm(g, 42, 4, warm_opt);
+  warm.GenerateUntil(777);
+  warm.GenerateUntil(2000);
+  EXPECT_EQ(PoolHash(warm), kGoldenIcPoolHash);
+  ExpectIndexMatchesReference(warm);
+
+  RrCollection cold(g, 42, 4);
+  cold.GenerateUntil(2000);
+  ASSERT_EQ(warm.size(), cold.size());
+  EXPECT_EQ(warm.TotalNodes(), cold.TotalNodes());
+  EXPECT_EQ(warm.TotalEdgesExamined(), cold.TotalEdgesExamined());
+}
+
+TEST(RrStreamCacheTest, SecondCollectionSamplesOnlyTheDelta) {
+  Graph g = GoldenGraph();
+  RrStreamCache cache;
+  RrOptions warm_opt;
+  warm_opt.stream_cache = &cache;
+  {
+    RrCollection first(g, 9, 4, warm_opt);
+    first.GenerateUntil(1000);
+  }
+  const size_t sampled_after_first = cache.stats().sampled_sets;
+  EXPECT_EQ(sampled_after_first, 1000u);
+  RrCollection second(g, 9, 4, warm_opt);
+  second.GenerateUntil(1500);  // prefix of the same streams + 500 more
+  EXPECT_EQ(cache.stats().sampled_sets, 1500u);
+  EXPECT_GE(cache.stats().served_sets, 2500u);
+  RrCollection cold(g, 9, 4);
+  cold.GenerateUntil(1500);
+  EXPECT_EQ(PoolHash(second), PoolHash(cold));
+}
+
+TEST(RrStreamCacheTest, ResetKeysANewEntryAndReplaysIt) {
+  // PRIMA's regeneration pass Resets to a derived seed; the cache must key
+  // the two stream groups separately and replay both bit-identically.
+  Graph g = GoldenGraph();
+  RrStreamCache cache;
+  RrOptions warm_opt;
+  warm_opt.stream_cache = &cache;
+  RrCollection warm(g, 21, 4, warm_opt);
+  warm.GenerateUntil(600);
+  warm.Reset(123);
+  warm.GenerateUntil(800);
+  RrCollection cold(g, 123, 4);
+  cold.GenerateUntil(800);
+  EXPECT_EQ(PoolHash(warm), PoolHash(cold));
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Replaying the regeneration seed costs no new samples.
+  const size_t sampled = cache.stats().sampled_sets;
+  RrCollection replay(g, 123, 4, warm_opt);
+  replay.GenerateUntil(800);
+  EXPECT_EQ(cache.stats().sampled_sets, sampled);
+  EXPECT_EQ(PoolHash(replay), PoolHash(cold));
+}
+
+TEST(RrStreamCacheTest, PassProbEntriesAreKeyedByContents) {
+  Graph g = GoldenGraph();
+  RrStreamCache cache;
+  std::vector<float> coins_a(g.num_nodes(), 0.6f);
+  std::vector<float> coins_b(g.num_nodes(), 0.6f);  // equal contents
+  std::vector<float> coins_c(g.num_nodes(), 0.3f);  // different coins
+  RrOptions opt_a;
+  opt_a.node_pass_prob = &coins_a;
+  opt_a.stream_cache = &cache;
+  RrCollection a(g, 3, 4, opt_a);
+  a.GenerateUntil(400);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  RrOptions opt_b = opt_a;
+  opt_b.node_pass_prob = &coins_b;  // different pointer, same contents
+  RrCollection b(g, 3, 4, opt_b);
+  b.GenerateUntil(400);
+  EXPECT_EQ(cache.stats().entries, 1u);  // reused
+  EXPECT_EQ(cache.stats().sampled_sets, 400u);
+  EXPECT_EQ(PoolHash(a), PoolHash(b));
+
+  RrOptions opt_c = opt_a;
+  opt_c.node_pass_prob = &coins_c;
+  RrCollection c(g, 3, 4, opt_c);
+  c.GenerateUntil(400);
+  EXPECT_EQ(cache.stats().entries, 2u);  // new coins, new entry
+  EXPECT_NE(PoolHash(a), PoolHash(c));
+
+  // Cold reference for the coin pool: identical content.
+  RrOptions cold_opt;
+  cold_opt.node_pass_prob = &coins_a;
+  RrCollection cold(g, 3, 4, cold_opt);
+  cold.GenerateUntil(400);
+  EXPECT_EQ(PoolHash(a), PoolHash(cold));
+}
+
+TEST(RrStreamCacheTest, TrimDropsOldestCoinEntriesKeepsPlainOnes) {
+  Graph g = GoldenGraph();
+  RrStreamCache cache;
+  RrOptions plain;
+  plain.stream_cache = &cache;
+  {
+    RrCollection pool(g, 1, 4, plain);
+    pool.GenerateUntil(100);
+  }
+  std::vector<std::vector<float>> coin_sets;
+  for (int i = 0; i < 3; ++i) {
+    coin_sets.emplace_back(g.num_nodes(), 0.1f * static_cast<float>(i + 1));
+    RrOptions opt = plain;
+    opt.node_pass_prob = &coin_sets.back();
+    RrCollection pool(g, 2, 4, opt);
+    pool.GenerateUntil(100);
+  }
+  ASSERT_EQ(cache.stats().entries, 4u);  // 1 plain + 3 coin entries
+  const size_t sampled = cache.stats().sampled_sets;
+
+  cache.TrimPassProbEntries(1);
+  EXPECT_EQ(cache.stats().entries, 2u);  // plain + newest coins survive
+  EXPECT_EQ(cache.stats().sampled_sets, sampled);  // counters are monotone
+
+  // The survivors still serve without resampling; the evicted coins cost
+  // a fresh 100 sets again.
+  {
+    RrOptions opt = plain;
+    opt.node_pass_prob = &coin_sets.back();  // newest: kept
+    RrCollection pool(g, 2, 4, opt);
+    pool.GenerateUntil(100);
+  }
+  EXPECT_EQ(cache.stats().sampled_sets, sampled);
+  {
+    RrOptions opt = plain;
+    opt.node_pass_prob = &coin_sets.front();  // oldest: evicted
+    RrCollection pool(g, 2, 4, opt);
+    pool.GenerateUntil(100);
+  }
+  EXPECT_EQ(cache.stats().sampled_sets, sampled + 100);
 }
 
 // --- run-to-run determinism -------------------------------------------
@@ -257,8 +406,8 @@ TEST(RrEngineDeterminism, PrimaSeedsIdenticalAcrossRuns) {
 }
 
 TEST(RrEngineDeterminism, IndependentOfPhysicalThreadCount) {
-  // The determinism contract is (seed, *logical* workers): the same pool
-  // must come out whether the work runs on 1 or 8 physical threads.
+  // The determinism contract is the seed alone: the same pool must come
+  // out whether the work runs on 1 or 8 physical threads.
   Graph g = GoldenGraph();
   ThreadPool one(1);
   ThreadPool eight(8);

@@ -134,6 +134,33 @@ TEST(SolverApi, EveryRegisteredSolverSolvesASmallInstance) {
   }
 }
 
+// ---- solver-matrix determinism ---------------------------------------
+
+// Every registered solver must be invariant to the worker count: the RR
+// engine runs on a fixed stream grid and the MC estimators on fixed-grid
+// streams (parallel.h), so workers only change wall-clock, never results.
+TEST(SolverApi, EverySolverIsWorkerCountInvariant) {
+  const Graph g = TestGraph(8, /*n=*/100, /*m=*/600);
+  WelfareProblem problem = TwoItemProblem(g, {3, 2});
+  for (const std::string& name : SolverRegistry::ListSolvers()) {
+    if (name.rfind("test-", 0) == 0) continue;  // test-registered stubs
+    SolverOptions base = FastOptions(/*seed=*/21);
+    base.mc_greedy.simulations_per_eval = 10;  // keep mc-greedy fast
+    SolverOptions w1 = base, w4 = base;
+    w1.workers = 1;
+    w4.workers = 4;
+    const auto r1 = SolverRegistry::Create(name, w1)->Solve(problem);
+    const auto r4 = SolverRegistry::Create(name, w4)->Solve(problem);
+    ASSERT_TRUE(r1.ok()) << name << ": " << r1.status().ToString();
+    ASSERT_TRUE(r4.ok()) << name << ": " << r4.status().ToString();
+    EXPECT_EQ(r1.value().allocation.entries(), r4.value().allocation.entries())
+        << name;
+    EXPECT_EQ(r1.value().ranking, r4.value().ranking) << name;
+    EXPECT_EQ(r1.value().num_rr_sets, r4.value().num_rr_sets) << name;
+    EXPECT_EQ(r1.value().objective, r4.value().objective) << name;
+  }
+}
+
 // ---- Result-based error paths ----------------------------------------
 
 TEST(SolverApi, RejectsNullAndEmptyGraph) {
