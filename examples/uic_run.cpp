@@ -15,7 +15,7 @@
 // points with warm RR-pool reuse across points (see exp/sweep.h):
 //
 //   uic_run --sweep 10:50:10 --algorithms bundle-grd,item-disj
-//   uic_run --sweep "70,30;70,70;70,110" --algorithms bundle-grd \
+//   uic_run --sweep "70,30;70,70;70,110" --algorithms bundle-grd
 //           --report-csv sweep.csv
 //
 // Exit codes: 0 success, 1 solver/problem error (message on stderr),

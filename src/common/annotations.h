@@ -1,0 +1,78 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The concurrency contract of the mutex-holding classes (`ThreadPool`,
+// `SolverRegistry`'s factory map, …) is expressed with these macros so
+// clang's `-Wthread-safety` analysis proves the locking discipline at
+// compile time; the CI `static-analysis` job builds with
+// `-Werror=thread-safety`, so an unguarded access to a `UIC_GUARDED_BY`
+// member is a build break, not a latent race for TSan to (maybe) catch.
+//
+// Raw `std::mutex` from libstdc++ carries no capability attributes, so
+// the analysis cannot see through it — annotated code must use the
+// `uic::Mutex` / `uic::MutexLock` / `uic::CondVar` wrappers from
+// common/mutex.h instead. (`uic_lint` rule UIC-L007 enforces this for
+// new code.)
+//
+// Macro names follow the clang documentation's canonical spellings
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) with a UIC_
+// prefix.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define UIC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define UIC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a class to be a lockable capability (use on mutex wrappers).
+#define UIC_CAPABILITY(x) UIC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define UIC_SCOPED_CAPABILITY UIC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held shared or exclusive, writes
+/// exclusive.
+#define UIC_GUARDED_BY(x) UIC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// As UIC_GUARDED_BY, but for the data pointed to by a pointer member.
+#define UIC_PT_GUARDED_BY(x) UIC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that the calling thread must hold the given capability(ies)
+/// exclusively before calling the annotated function.
+#define UIC_REQUIRES(...) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability and holds it on
+/// return.
+#define UIC_ACQUIRE(...) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases the capability.
+#define UIC_RELEASE(...) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares that the function tries to acquire the capability and
+/// returns `ret` on success.
+#define UIC_TRY_ACQUIRE(ret, ...) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares that the caller must NOT hold the capability (deadlock
+/// prevention for non-reentrant locks).
+#define UIC_EXCLUDES(...) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given
+/// capability (for accessor methods exposing a member mutex).
+#define UIC_RETURN_CAPABILITY(x) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define UIC_ASSERT_CAPABILITY(x) \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define UIC_NO_THREAD_SAFETY_ANALYSIS \
+  UIC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

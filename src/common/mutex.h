@@ -1,0 +1,92 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// libstdc++'s `std::mutex` carries no clang capability attributes, so
+// `-Wthread-safety` cannot analyze code that locks it directly. These
+// zero-overhead wrappers re-export the standard primitives with the
+// annotations from common/annotations.h attached; every mutex-holding
+// class in the library uses them (enforced by `uic_lint` rule UIC-L007),
+// which is what lets the CI static-analysis job prove the locking
+// discipline with `-Werror=thread-safety`.
+//
+//   class Registry {
+//     Mutex mu_;
+//     std::map<...> factories_ UIC_GUARDED_BY(mu_);
+//     void Register(...) { MutexLock lock(mu_); factories_[...] = ...; }
+//   };
+//
+// `CondVar` pairs with `Mutex` the way `std::condition_variable` pairs
+// with `std::unique_lock`: `Wait` takes the held `Mutex` (annotated
+// UIC_REQUIRES, and the analysis treats the capability as held
+// throughout, matching the invariant that `Wait` returns with the lock
+// re-acquired).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace uic {
+
+/// \brief `std::mutex` with clang capability annotations.
+class UIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() UIC_ACQUIRE() { mu_.lock(); }
+  void Unlock() UIC_RELEASE() { mu_.unlock(); }
+  bool TryLock() UIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over `Mutex` (the annotated `std::lock_guard`).
+class UIC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) UIC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() UIC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Condition variable bound to `Mutex`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. `mu` must be held by the caller.
+  void Wait(Mutex& mu) UIC_REQUIRES(mu) {
+    // Adopt the already-held native mutex; release() keeps it held on
+    // return so ownership stays with the caller (and with the analysis).
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// As `Wait`, returning once `pred()` is true.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) UIC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace uic

@@ -13,7 +13,13 @@ namespace uic {
 /// instead of throwing. Hot paths (simulation, sampling) are designed so
 /// that failure is impossible after construction-time validation and
 /// therefore return plain values.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning a `Status` by
+/// value warns (errors under UIC_WERROR) if the caller drops the result,
+/// so an I/O or validation failure cannot be silently ignored. A caller
+/// that has genuinely decided not to act on a failure must say so
+/// explicitly with `status.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -52,6 +58,11 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Explicitly discard this status. The one sanctioned way to drop a
+  /// `Status` return value (e.g. best-effort cleanup on an already-failing
+  /// path); grep-able, unlike a `(void)` cast.
+  void IgnoreError() const {}
+
   std::string ToString() const {
     if (ok()) return "OK";
     return CodeName(code_) + ": " + msg_;
@@ -75,9 +86,11 @@ class Status {
   std::string msg_;
 };
 
-/// \brief Value-or-status result type.
+/// \brief Value-or-status result type. `[[nodiscard]]` like `Status`: a
+/// dropped `Result` is either a dropped error or a dropped value, and
+/// both are bugs.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(implicit)
   Result(Status status) : value_(std::move(status)) {  // NOLINT(implicit)

@@ -20,10 +20,10 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -39,8 +39,8 @@ void ThreadPool::RunChunks(Call& call) {
         call.total_chunks) {
       // Lock pairs with the waiter's predicate check to avoid a missed
       // wakeup between its check and its wait.
-      std::lock_guard<std::mutex> lock(call.m);
-      call.done_cv.notify_all();
+      MutexLock lock(call.m);
+      call.done_cv.NotifyAll();
     }
   }
 }
@@ -50,8 +50,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Call> call;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Manual predicate loop (not the CondVar::Wait(pred) overload):
+      // direct member accesses keep the guarded reads visible to the
+      // thread-safety analysis, which does not look through lambdas.
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       call = queue_.front();
       if (call->next.load(std::memory_order_relaxed) >= call->total_chunks) {
@@ -91,21 +94,21 @@ void ThreadPool::ParallelFor(
   call->chunk = chunk;
   call->total_chunks = total_chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(call);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunks(*call);  // the caller is one more worker
   {
-    std::unique_lock<std::mutex> lock(call->m);
-    call->done_cv.wait(lock, [&] {
-      return call->done.load(std::memory_order_acquire) >= call->total_chunks;
-    });
+    MutexLock lock(call->m);
+    while (call->done.load(std::memory_order_acquire) < call->total_chunks) {
+      call->done_cv.Wait(call->m);
+    }
   }
   {
     // Retire the call if no worker got to it (e.g. the caller ran every
     // chunk before any pool thread woke up).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!queue_.empty() && queue_.front() == call) queue_.pop_front();
   }
 }

@@ -19,14 +19,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace uic {
 
@@ -80,19 +81,24 @@ class ThreadPool {
     unsigned total_chunks = 0;
     std::atomic<unsigned> next{0};
     std::atomic<unsigned> done{0};
-    std::mutex m;
-    std::condition_variable done_cv;
+    /// Pairs the final done increment with the submitter's wait so the
+    /// completion notification cannot be missed; guards nothing itself
+    /// (progress state is the two atomics above).
+    Mutex m;
+    CondVar done_cv;
   };
 
   /// Claim and execute chunks of `call` until none remain.
   static void RunChunks(Call& call);
   void WorkerLoop();
 
+  /// Worker threads; written only during construction, joined in the
+  /// destructor after `stop_` is published.
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Call>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Call>> queue_ UIC_GUARDED_BY(mu_);
+  bool stop_ UIC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace uic

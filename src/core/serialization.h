@@ -19,27 +19,27 @@ namespace uic {
 
 /// Write `allocation` to `path` (overwrites). Format, one row per seed:
 ///   node_id,itemset_hex
-Status SaveAllocation(const Allocation& allocation, const std::string& path);
+[[nodiscard]] Status SaveAllocation(const Allocation& allocation, const std::string& path);
 
 /// Read an allocation previously written by SaveAllocation.
-Result<Allocation> LoadAllocation(const std::string& path);
+[[nodiscard]] Result<Allocation> LoadAllocation(const std::string& path);
 
 /// Write `graph` to `path` (overwrites). Unlike SaveEdgeList, the format
 /// carries an explicit node count, so graphs with zero edges (including the
 /// empty graph) round-trip exactly.
-Status SaveGraph(const Graph& graph, const std::string& path);
+[[nodiscard]] Status SaveGraph(const Graph& graph, const std::string& path);
 
 /// Read a graph previously written by SaveGraph.
-Result<Graph> LoadGraph(const std::string& path);
+[[nodiscard]] Result<Graph> LoadGraph(const std::string& path);
 
 /// Write `params` to `path` (overwrites). The value and price functions are
 /// materialized into dense 2^k tables, so any ValueFunction/PriceFunction
 /// implementation round-trips (as its tabular equivalent); the noise model
 /// is stored per item as (kind, param).
-Status SaveItemParams(const ItemParams& params, const std::string& path);
+[[nodiscard]] Status SaveItemParams(const ItemParams& params, const std::string& path);
 
 /// Read item parameters previously written by SaveItemParams. The loaded
 /// value/price functions are TabularValueFunction/TabularPriceFunction.
-Result<ItemParams> LoadItemParams(const std::string& path);
+[[nodiscard]] Result<ItemParams> LoadItemParams(const std::string& path);
 
 }  // namespace uic

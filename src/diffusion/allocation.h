@@ -69,7 +69,7 @@ class Allocation {
   }
 
   /// Validate against the budget vector: |S_i| <= budgets[i] for every i.
-  Status ValidateBudgets(const std::vector<uint32_t>& budgets) const {
+  [[nodiscard]] Status ValidateBudgets(const std::vector<uint32_t>& budgets) const {
     for (ItemId i = 0; i < budgets.size(); ++i) {
       if (SeedCount(i) > budgets[i]) {
         return Status::FailedPrecondition(

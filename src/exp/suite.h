@@ -45,7 +45,7 @@ inline SuiteRow EvaluateRow(const std::string& algorithm,
 ///
 /// Forwards any registry or validation failure as a Status; use MustSolve
 /// in bench binaries where a malformed setup should abort loudly.
-inline Result<AllocationResult> RunSolver(const std::string& algorithm,
+[[nodiscard]] inline Result<AllocationResult> RunSolver(const std::string& algorithm,
                                           const WelfareProblem& problem,
                                           const SolverOptions& options = {}) {
   Result<std::unique_ptr<Solver>> solver =

@@ -113,7 +113,7 @@ class SweepRunner {
   /// Run every (algorithm, budget point) cell, algorithms outer, budget
   /// points inner, all sharing this runner's stream cache. Fails fast on
   /// an invalid spec or the first failing Solve.
-  Result<SweepReport> Run();
+  [[nodiscard]] Result<SweepReport> Run();
 
   /// The cache the runner threads through every Solve (exposed so callers
   /// can chain additional sweeps over the same network, or inspect
@@ -129,7 +129,7 @@ class SweepRunner {
 /// (e.g. "20,40"); rejects empty entries, non-digits, and overflow with
 /// InvalidArgument. Shared by the sweep grammar and the uic_run
 /// `--budgets` flag.
-Result<std::vector<uint32_t>> ParseBudgetList(const std::string& list);
+[[nodiscard]] Result<std::vector<uint32_t>> ParseBudgetList(const std::string& list);
 
 /// \brief Parse the CLI budget-sweep syntax into budget points.
 ///
@@ -139,7 +139,7 @@ Result<std::vector<uint32_t>> ParseBudgetList(const std::string& list);
 ///
 /// `num_items` sizes the uniform forms (explicit vectors must all have the
 /// same length, which overrides `num_items`).
-Result<std::vector<std::vector<uint32_t>>> ParseSweepPoints(
+[[nodiscard]] Result<std::vector<std::vector<uint32_t>>> ParseSweepPoints(
     const std::string& spec, size_t num_items);
 
 }  // namespace uic

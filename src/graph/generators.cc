@@ -48,15 +48,22 @@ Graph GeneratePreferentialAttachment(NodeId n, uint32_t out_per_node,
     mass.push_back(u);
     mass.push_back(u);
   }
+  // `chosen` filters duplicates; `picks` preserves RNG draw order so the
+  // emitted edges (and the interleaved back-edge coin flips below) are a
+  // pure function of the seed. Iterating the unordered_set here would tie
+  // the graph to the standard library's hash iteration order (UIC-L006).
   std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> picks;
+  picks.reserve(out_per_node);
   for (NodeId u = seed_clique; u < n; ++u) {
     chosen.clear();
+    picks.clear();
     while (chosen.size() < out_per_node) {
       const NodeId t = mass[rng.NextBounded(mass.size())];
       if (t == u) continue;
-      chosen.insert(t);
+      if (chosen.insert(t).second) picks.push_back(t);
     }
-    for (NodeId t : chosen) {
+    for (NodeId t : picks) {
       if (undirected) {
         builder.AddUndirectedEdge(u, t);
       } else {

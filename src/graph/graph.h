@@ -124,7 +124,7 @@ class GraphBuilder {
   size_t num_pending_edges() const { return edges_.size(); }
 
   /// Assemble the CSR structures. Fails if an endpoint is out of range.
-  Result<Graph> Build();
+  [[nodiscard]] Result<Graph> Build();
 
  private:
   NodeId num_nodes_;

@@ -30,14 +30,14 @@ struct EdgeListOptions {
 /// Malformed lines, out-of-range node ids or probabilities, and (under the
 /// strict options) self-loops and duplicates all return a Status naming
 /// the offending line — never a crash or a silently corrupted graph.
-Result<Graph> LoadEdgeList(const std::string& path,
+[[nodiscard]] Result<Graph> LoadEdgeList(const std::string& path,
                            const EdgeListOptions& options = {});
 
 /// \brief Parse an edge list from an in-memory string (used by tests).
-Result<Graph> ParseEdgeList(const std::string& text,
+[[nodiscard]] Result<Graph> ParseEdgeList(const std::string& text,
                             const EdgeListOptions& options = {});
 
 /// \brief Write a graph as "u v p" lines (round-trips with LoadEdgeList).
-Status SaveEdgeList(const Graph& graph, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace uic

@@ -22,7 +22,11 @@
 // Entries are keyed by (seed, sampling semantics): the linear-threshold
 // flag and the *contents* of any node-pass-probability vector. The cache
 // is bound to one graph (checked) and is NOT thread-safe across concurrent
-// solver invocations; a SweepRunner drives solves sequentially.
+// solver invocations; a SweepRunner drives solves sequentially. It is
+// therefore deliberately mutex-free and carries no thread-safety
+// capabilities (common/annotations.h): the only intra-solve concurrency
+// is EnsureSamples extending *distinct* streams under the ParallelFor
+// barrier, coordinated by the two lifetime counters below being atomic.
 #pragma once
 
 #include <atomic>

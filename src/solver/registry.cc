@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
-#include <mutex>
 #include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace uic {
 
@@ -18,15 +20,18 @@ std::string Lowercase(const std::string& s) {
   return out;
 }
 
-std::mutex& RegistryMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// The registry's shared state: the factory map and the mutex guarding
+/// it live in one struct so the thread-safety analysis can tie the
+/// GUARDED_BY relation to a concrete capability expression.
+/// std::map keeps ListSolvers sorted; keys are stored lowercase.
+struct RegistryState {
+  Mutex mu;
+  std::map<std::string, SolverRegistry::Factory> factories UIC_GUARDED_BY(mu);
+};
 
-/// name (lowercase) → factory. std::map keeps ListSolvers sorted.
-std::map<std::string, SolverRegistry::Factory>& Factories() {
-  static std::map<std::string, SolverRegistry::Factory> map;
-  return map;
+RegistryState& State() {
+  static RegistryState state;
+  return state;
 }
 
 void EnsureBuiltins() {
@@ -44,10 +49,10 @@ std::unique_ptr<Solver> SolverRegistry::Create(const std::string& name,
   EnsureBuiltins();
   Factory factory;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
-    auto& factories = Factories();
-    auto it = factories.find(Lowercase(name));
-    if (it == factories.end()) return nullptr;
+    RegistryState& state = State();
+    MutexLock lock(state.mu);
+    auto it = state.factories.find(Lowercase(name));
+    if (it == state.factories.end()) return nullptr;
     factory = it->second;
   }
   return factory(options);
@@ -68,10 +73,11 @@ Result<std::unique_ptr<Solver>> SolverRegistry::CreateOrError(
 
 std::vector<std::string> SolverRegistry::ListSolvers() {
   EnsureBuiltins();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
   std::vector<std::string> names;
-  names.reserve(Factories().size());
-  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  names.reserve(state.factories.size());
+  for (const auto& [name, factory] : state.factories) names.push_back(name);
   return names;
 }
 
@@ -84,8 +90,9 @@ namespace detail {
 
 bool RegisterSolverFactory(const std::string& name,
                            SolverRegistry::Factory factory) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  return Factories().emplace(Lowercase(name), std::move(factory)).second;
+  RegistryState& state = State();
+  MutexLock lock(state.mu);
+  return state.factories.emplace(Lowercase(name), std::move(factory)).second;
 }
 
 }  // namespace detail

@@ -30,7 +30,7 @@ class SolverRegistry {
 
   /// As Create, but an unknown name yields Status::NotFound listing the
   /// registered solvers.
-  static Result<std::unique_ptr<Solver>> CreateOrError(
+  [[nodiscard]] static Result<std::unique_ptr<Solver>> CreateOrError(
       const std::string& name, const SolverOptions& options = {});
 
   /// Registered names, sorted. Every name constructs via Create.

@@ -50,17 +50,17 @@ class Solver {
   /// Validate `problem`, then run the algorithm. Never crashes on
   /// malformed input; returns InvalidArgument / FailedPrecondition /
   /// OutOfRange with a message naming the offending field.
-  Result<AllocationResult> Solve(const WelfareProblem& problem);
+  [[nodiscard]] Result<AllocationResult> Solve(const WelfareProblem& problem);
 
   const SolverOptions& options() const { return options_; }
 
  protected:
   /// The algorithm itself; `problem` has already passed Validate.
-  virtual Result<AllocationResult> SolveValidated(
+  [[nodiscard]] virtual Result<AllocationResult> SolveValidated(
       const WelfareProblem& problem) = 0;
 
  private:
-  Status Validate(const WelfareProblem& problem) const;
+  [[nodiscard]] Status Validate(const WelfareProblem& problem) const;
 
   SolverOptions options_;
 };

@@ -11,6 +11,11 @@
 namespace uic {
 namespace {
 
+/// FNV-1a over the edge list of GeneratePreferentialAttachment(300, 3,
+/// false, 11); recompute with the loop in the test below if the generator
+/// intentionally changes.
+constexpr uint64_t kPreferentialAttachmentGoldenHash = 0x076d003484cc1491ULL;
+
 TEST(GraphBuilder, BuildsCsrBothDirections) {
   GraphBuilder builder(4);
   builder.AddEdge(0, 1, 0.5);
@@ -118,6 +123,27 @@ TEST(Generators, PreferentialAttachmentIsHeavyTailed) {
   }
   // The hubs should far exceed the average in-degree.
   EXPECT_GT(max_in, 10 * g.AverageDegree());
+}
+
+// Regression for the UIC-L006 fix in GeneratePreferentialAttachment: the
+// per-node target picks used to be emitted in unordered_set hash order,
+// tying the generated graph (and the interleaved back-edge coin flips) to
+// the standard library's hash implementation. Edges now come out in RNG
+// draw order, so the topology is a pure function of the seed and this
+// golden hash must hold on every platform.
+TEST(Generators, PreferentialAttachmentIsAPureFunctionOfTheSeed) {
+  const Graph g = GeneratePreferentialAttachment(300, 3, false, 11);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(g.num_nodes());
+  mix(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) mix((uint64_t{u} << 32) | v);
+  }
+  EXPECT_EQ(h, kPreferentialAttachmentGoldenHash);
 }
 
 TEST(Generators, GridHasExpectedStructure) {

@@ -182,7 +182,7 @@ TEST(SolverApi, RejectsEmptyBudgets) {
   const Graph g = TestGraph(3);
   WelfareProblem problem;
   problem.graph = &g;
-  for (const std::string& name : {"bundle-grd", "mc-greedy", "bdhs"}) {
+  for (const char* name : {"bundle-grd", "mc-greedy", "bdhs"}) {
     auto result = SolverRegistry::Create(name, FastOptions())->Solve(problem);
     ASSERT_FALSE(result.ok()) << name;
     EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument) << name;
@@ -215,7 +215,7 @@ TEST(SolverApi, TwoItemOnlySolversRejectThreeItems) {
   problem.graph = &g;
   problem.params = MakeAdditiveConfig5(3);
   problem.budgets = {2, 2, 2};
-  for (const std::string& name : {"rr-sim+", "rr-cim"}) {
+  for (const char* name : {"rr-sim+", "rr-cim"}) {
     const auto result =
         SolverRegistry::Create(name, FastOptions())->Solve(problem);
     ASSERT_FALSE(result.ok()) << name;
@@ -228,7 +228,7 @@ TEST(SolverApi, UtilityAwareSolversRequireParams) {
   WelfareProblem problem;
   problem.graph = &g;
   problem.budgets = {2, 2};
-  for (const std::string& name :
+  for (const char* name :
        {"bundle-disj", "mc-greedy", "rr-sim+", "rr-cim", "bdhs"}) {
     const auto result =
         SolverRegistry::Create(name, FastOptions())->Solve(problem);
@@ -237,7 +237,7 @@ TEST(SolverApi, UtilityAwareSolversRequireParams) {
         << name;
   }
   // ...while the utility-oblivious solvers accept the same problem.
-  for (const std::string& name : {"bundle-grd", "item-disj"}) {
+  for (const char* name : {"bundle-grd", "item-disj"}) {
     EXPECT_TRUE(
         SolverRegistry::Create(name, FastOptions())->Solve(problem).ok())
         << name;
@@ -248,13 +248,13 @@ TEST(SolverApi, IcOnlySolversRejectLinearThreshold) {
   const Graph g = TestGraph(8);
   WelfareProblem problem = TwoItemProblem(g);
   problem.model = DiffusionModel::kLinearThreshold;
-  for (const std::string& name : {"mc-greedy", "rr-sim+", "rr-cim", "bdhs"}) {
+  for (const char* name : {"mc-greedy", "rr-sim+", "rr-cim", "bdhs"}) {
     const auto result =
         SolverRegistry::Create(name, FastOptions())->Solve(problem);
     ASSERT_FALSE(result.ok()) << name;
     EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument) << name;
   }
-  for (const std::string& name : {"bundle-grd", "item-disj", "bundle-disj"}) {
+  for (const char* name : {"bundle-grd", "item-disj", "bundle-disj"}) {
     EXPECT_TRUE(
         SolverRegistry::Create(name, FastOptions())->Solve(problem).ok())
         << name;

@@ -1,0 +1,100 @@
+// uic_lint: the project's determinism & concurrency lint.
+//
+// The library's correctness story is a *seed-only determinism contract*
+// (results are a pure function of (inputs, seed) — never of wall clock,
+// worker count, scheduling, or hash-table iteration order) enforced at
+// runtime by goldens and metamorphic tests. This lint enforces the
+// source-level half of that contract so a violation is a failing tier-1
+// ctest with a rule ID and a fix-it hint, not a flaky golden three PRs
+// later.
+//
+// Rules (see RuleTable() for the authoritative list):
+//   UIC-L001 banned-rand          std::rand/srand — unseeded global RNG
+//   UIC-L002 banned-random-device std::random_device — hardware entropy
+//   UIC-L003 wall-clock-entropy   time(nullptr)/gettimeofday/system_clock
+//   UIC-L004 raw-thread           std::thread outside common/thread_pool
+//   UIC-L005 banned-volatile      volatile is not a threading primitive
+//   UIC-L006 unordered-iteration  iterating unordered_{map,set} (order is
+//                                 nondeterministic across stdlibs/runs)
+//   UIC-L007 raw-mutex            std::mutex & friends in src/ (invisible
+//                                 to clang -Wthread-safety; use uic::Mutex)
+//
+// Scanning is token-oriented over comment- and string-stripped source, so
+// a doc comment mentioning `std::thread` is not a violation. Vetted
+// exceptions go in a whitelist file (`<rule-id> <path-suffix>` lines) or
+// inline: `// uic-lint: allow(UIC-L004)` on the offending line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uic {
+namespace lint {
+
+/// One lint rule's metadata.
+struct Rule {
+  std::string id;           ///< e.g. "UIC-L001"
+  std::string name;         ///< short kebab-case name
+  std::string description;  ///< what the rule bans and why
+  std::string hint;         ///< fix-it hint appended to every violation
+};
+
+/// The authoritative rule list, in ID order.
+const std::vector<Rule>& RuleTable();
+
+/// One finding.
+struct Violation {
+  std::string path;  ///< root-relative (forward slashes) when under root
+  size_t line = 0;   ///< 1-based
+  std::string rule_id;
+  std::string message;
+};
+
+/// A parsed whitelist: (rule ID, path suffix) pairs.
+struct Whitelist {
+  struct Entry {
+    std::string rule_id;
+    std::string path_suffix;
+  };
+  std::vector<Entry> entries;
+
+  /// True if `v` matches an entry (rule equal, path ends with suffix).
+  bool Allows(const Violation& v) const;
+};
+
+/// Parse a whitelist file. Format, one entry per line:
+///   UIC-L004 tests/test_thread_pool.cc   # reason
+/// '#' starts a comment; blank lines are skipped. Returns false (with a
+/// message in *error) on a malformed line or an unknown rule ID.
+bool LoadWhitelist(const std::string& path, Whitelist* out,
+                   std::string* error);
+
+/// \brief Replace comments and string/char-literal contents with spaces,
+/// preserving line structure (newlines are kept, so line numbers in the
+/// stripped text match the original).
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// \brief Lint `source` as if it were the file `path` (root-relative).
+/// Inline `uic-lint: allow(...)` markers are honored; the whitelist is
+/// applied by the caller.
+std::vector<Violation> LintSource(const std::string& path,
+                                  const std::string& source);
+
+/// \brief Lint one file on disk. `path` is used both for reading and as
+/// the reported location (pass it root-relative).
+std::vector<Violation> LintFile(const std::string& root,
+                                const std::string& rel_path);
+
+/// \brief Recursively collect the .h/.cc/.cpp/.hpp files under
+/// `root`/`dir` as sorted root-relative paths (deterministic order).
+std::vector<std::string> CollectSources(const std::string& root,
+                                        const std::string& dir);
+
+/// \brief CLI entry point (what main() calls; tests call it in-process).
+/// Returns the process exit code: 0 clean, 1 violations, 2 usage/IO error.
+int RunLint(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace lint
+}  // namespace uic

@@ -1,0 +1,26 @@
+// Fixture: no violations. Mentions of banned constructs appear only in
+// comments ("std::rand", "volatile", std::thread) and string literals,
+// which the scanner strips; std::thread::hardware_concurrency and
+// lookups (not iteration) into an unordered_map are allowed, and an
+// inline marker vets the one deliberate exception.
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+const char* Banner() {
+  return "do not use std::rand or volatile";  // string literal, not code
+}
+
+unsigned Workers() {
+  return std::thread::hardware_concurrency();
+}
+
+int Lookup(const std::unordered_map<int, int>& index, int key) {
+  auto it = index.find(key);
+  return it == index.end() ? -1 : it->second;
+}
+
+double VettedException() {
+  volatile double keep_alive = 1.0;  // uic-lint: allow(UIC-L005)
+  return keep_alive;
+}

@@ -1,0 +1,6 @@
+// Fixture: UIC-L001 — std::rand (line 5).
+#include <cstdlib>
+
+int UnseededDraw() {
+  return std::rand() % 100;
+}

@@ -1,0 +1,7 @@
+// Fixture: UIC-L002 — std::random_device (line 5).
+#include <random>
+
+unsigned HardwareEntropy() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,11 @@
+// Fixture: UIC-L007 — raw std::mutex in library code (lines 6, 9).
+// (The rule fires only under src/; the test lints this content under a
+// synthetic src/ path label.)
+#include <mutex>
+
+std::mutex g_mu;
+
+int GuardedIncrement(int* counter) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ++*counter;
+}

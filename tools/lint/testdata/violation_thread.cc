@@ -1,0 +1,7 @@
+// Fixture: UIC-L004 — raw std::thread outside the pool (line 5).
+#include <thread>
+
+void ForkJoin() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,6 @@
+// Fixture: UIC-L003 — wall clock feeding a seed (line 5).
+#include <ctime>
+
+unsigned long SeedFromClock() {
+  return static_cast<unsigned long>(time(nullptr));
+}

@@ -1,0 +1,11 @@
+// Fixture: UIC-L006 — iterating an unordered_map into output (line 8).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void DumpCounts(const std::unordered_map<std::string, int>& counts) {
+  // Hash-order iteration: report rows come out in unspecified order.
+  for (const auto& [key, value] : counts) {
+    std::printf("%s,%d\n", key.c_str(), value);
+  }
+}

@@ -1,0 +1,7 @@
+// Fixture: UIC-L005 — volatile as a pseudo-atomic (line 4).
+
+double Accumulate(int n) {
+  volatile double sink = 0;
+  for (int i = 0; i < n; ++i) sink = sink + i;
+  return sink;
+}

@@ -1,0 +1,11 @@
+// CLI entry point for the determinism/concurrency lint (see lint.h).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return uic::lint::RunLint(args, std::cout, std::cerr);
+}
