@@ -11,6 +11,7 @@
 #include "items/utility_table.h"
 #include "rrset/node_selection.h"
 #include "rrset/rr_collection.h"
+#include "serve/server.h"
 
 namespace uic {
 namespace {
@@ -194,6 +195,48 @@ void BM_BudgetSweep(benchmark::State& state) {
   state.counters["rr_consumed"] = static_cast<double>(consumed) / iters;
 }
 BENCHMARK(BM_BudgetSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// --- serve: repeated welfare query, warm pool vs cold (ISSUE 7) --------
+// One daemon, one pinned graph, the same solve request over and over —
+// the serving hot path. Warm (arg 1) reuses the daemon's RR pool so each
+// repeat re-solves without resampling; cold (arg 0) pays the full RR
+// sampling cost every time. Responses are bit-identical either way (the
+// determinism contract); `rr_sampled_per_query` shows warm at 0 after the
+// first fill, and the time ratio is the serving speedup the warm cache
+// buys (acceptance bar: >= 2x).
+void BM_ServeRepeatedQuery(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  serve::ServerOptions options;
+  options.include_timing = false;
+  serve::Server server(options);
+  UIC_CHECK(server
+                .HandleLine("{\"verb\":\"load_graph\",\"name\":\"g\","
+                            "\"network\":\"er\",\"nodes\":2000,"
+                            "\"edges\":12000}")
+                .find("\"ok\":true") != std::string::npos);
+  UIC_CHECK(server
+                .HandleLine("{\"verb\":\"load_params\",\"name\":\"p\","
+                            "\"config\":\"config12\"}")
+                .find("\"ok\":true") != std::string::npos);
+  const std::string request =
+      std::string("{\"verb\":\"solve\",\"graph\":\"g\",\"params\":\"p\","
+                  "\"budgets\":[5,5],\"seed\":4,\"warm\":") +
+      (warm ? "true}" : "false}");
+  size_t queries = 0, sampled = 0;
+  for (auto _ : state) {
+    const std::string response = server.HandleLine(request);
+    benchmark::DoNotOptimize(response.data());
+    const Result<serve::Json> parsed = serve::Json::Parse(response);
+    UIC_CHECK(parsed.ok());
+    ++queries;
+    sampled += static_cast<size_t>(
+        parsed.value().Find("serve")->Find("rr_sets_sampled")->AsInt());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["rr_sampled_per_query"] =
+      static_cast<double>(sampled) / static_cast<double>(queries);
+}
+BENCHMARK(BM_ServeRepeatedQuery)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace uic

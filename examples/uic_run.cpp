@@ -20,12 +20,16 @@
 //
 // Exit codes: 0 success, 1 solver/problem error (message on stderr),
 // 2 usage error.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "core/serialization.h"
 #include "exp/configs.h"
 #include "exp/flags.h"
@@ -51,6 +55,8 @@ constexpr const char* kUsage =
     "  --report-csv PATH  write the sweep report as CSV\n"
     "  --report-json PATH write the sweep report as JSON\n"
     "  --no-timing        print '-' for seconds (deterministic reports)\n"
+    "  (SIGINT/SIGTERM finish the in-flight cell, flush partial reports,\n"
+    "   and exit 130)\n"
     "\n"
     "network (generated stand-ins unless --graph is given):\n"
     "  --graph PATH       load a graph saved with SaveGraph\n"
@@ -87,6 +93,24 @@ constexpr const char* kUsage =
     "  --mc N             welfare-evaluation simulations   (default 400)\n"
     "  --eval-seed S      welfare-evaluation seed          (default 999)\n"
     "  --save-allocation PATH   persist the allocation (SaveAllocation)\n";
+
+/// Set by the SIGINT/SIGTERM handler; SweepRunner checks it between cells.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void OnSweepSignal(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+/// Install cooperative-cancel handlers for sweep mode. No SA_RESTART: an
+/// interrupted blocking call should fail fast, not resume.
+void InstallSweepSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSweepSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 Result<Graph> BuildNetwork(const Flags& flags) {
   const double p = flags.GetDouble("p", 0.0);
@@ -204,6 +228,8 @@ int RunSweep(const Flags& flags, const WelfareProblem& problem,
                               ? static_cast<size_t>(flags.GetInt("mc", 400))
                               : 0;
   spec.eval_seed = static_cast<uint64_t>(flags.GetInt("eval-seed", 999));
+  InstallSweepSignalHandlers();
+  spec.cancel = &g_interrupted;
 
   const size_t num_items = problem.params.has_value()
                                ? problem.params->num_items()
@@ -221,6 +247,13 @@ int RunSweep(const Flags& flags, const WelfareProblem& problem,
   if (!report.ok()) {
     std::fprintf(stderr, "uic_run: %s\n", report.status().ToString().c_str());
     return 1;
+  }
+  const bool interrupted = report.value().interrupted;
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "uic_run: sweep interrupted after %zu completed cell(s); "
+                 "flushing partial report\n",
+                 report.value().rows.size());
   }
 
   TablePrinter table({"algorithm", "setting", "welfare", "std error",
@@ -264,7 +297,9 @@ int RunSweep(const Flags& flags, const WelfareProblem& problem,
       !write_report(json_path, report.value().ToJson(timing))) {
     return 1;
   }
-  return 0;
+  // 128 + SIGINT: partial reports are on disk, but the sweep is incomplete
+  // and scripts must not mistake it for a full run.
+  return interrupted ? 130 : 0;
 }
 
 int Run(int argc, char** argv) {
@@ -334,6 +369,10 @@ int Run(int argc, char** argv) {
   options.ell = flags.GetDouble("ell", 1.0);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.workers = static_cast<unsigned>(flags.GetInt("workers", 0));
+  // Also size the process-wide shared pool (a no-op if something already
+  // instantiated it): solvers route ParallelFor through ThreadPool::Shared,
+  // and results are worker-count invariant by the determinism contract.
+  if (options.workers > 0) ThreadPool::ConfigureShared(options.workers);
   options.mc_greedy.simulations_per_eval =
       static_cast<size_t>(flags.GetInt("greedy-sims", 200));
   options.comic.cim_forward_simulations =

@@ -21,6 +21,7 @@
 // re-acquired).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -80,6 +81,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock, std::move(pred));
     lock.release();
+  }
+
+  /// As `Wait`, but gives up after `timeout` (measured on the steady
+  /// clock). Returns false on timeout, true when notified — either way
+  /// the lock is re-acquired, so callers re-check their predicate. The
+  /// serve admission queue uses this for per-request deadlines.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout) UIC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool notified =
+        cv_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    lock.release();
+    return notified;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -113,9 +113,35 @@ void ThreadPool::ParallelFor(
   }
 }
 
+namespace {
+
+/// Pending size for the shared pool (0 = DefaultWorkers()) and whether it
+/// has been materialized; plain atomics because ConfigureShared races with
+/// nothing in practice (it is called from main() before serving starts).
+std::atomic<unsigned> g_shared_threads{0};
+std::atomic<bool> g_shared_created{false};
+
+}  // namespace
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(DefaultWorkers());
+  static ThreadPool pool(g_shared_threads.load(std::memory_order_relaxed));
+  g_shared_created.store(true, std::memory_order_relaxed);
   return pool;
+}
+
+bool ThreadPool::ConfigureShared(unsigned threads) {
+  if (g_shared_created.load(std::memory_order_relaxed)) return false;
+  g_shared_threads.store(threads, std::memory_order_relaxed);
+  // A concurrent first Shared() call may have constructed the pool between
+  // the check and the store; report whether the request took effect.
+  return !g_shared_created.load(std::memory_order_relaxed);
+}
+
+BackgroundThread::BackgroundThread(std::function<void()> fn)
+    : thread_(std::move(fn)) {}
+
+void BackgroundThread::Join() {
+  if (thread_.joinable()) thread_.join();
 }
 
 }  // namespace uic

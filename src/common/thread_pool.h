@@ -71,6 +71,13 @@ class ThreadPool {
   /// evaluation — reuses a single set of threads.
   static ThreadPool& Shared();
 
+  /// \brief Size the shared pool before its first use (the `--workers`
+  /// plumbing of uic_run/uic_served). Returns false — leaving the
+  /// existing pool untouched — when `Shared()` has already been called;
+  /// 0 restores the `DefaultWorkers()` default. Physical pool size never
+  /// affects results (the determinism contract above), only throughput.
+  static bool ConfigureShared(unsigned threads);
+
  private:
   /// One ParallelFor invocation: chunks are claimed via an atomic cursor
   /// by however many threads (pool workers + the caller) pick it up.
@@ -99,6 +106,29 @@ class ThreadPool {
   CondVar work_cv_;
   std::deque<std::shared_ptr<Call>> queue_ UIC_GUARDED_BY(mu_);
   bool stop_ UIC_GUARDED_BY(mu_) = false;
+};
+
+/// \brief RAII handle on one long-running thread, joined on destruction.
+///
+/// `ParallelFor` expresses fork-join chunk work, not threads that outlive
+/// a call — the serve layer's request executors and connection readers,
+/// and tests that drive the library from concurrent callers, need the
+/// latter. This wrapper keeps raw `std::thread` construction confined to
+/// common/thread_pool.* (lint rule UIC-L004): everything else obtains
+/// concurrency through `ThreadPool` or `BackgroundThread`.
+class BackgroundThread {
+ public:
+  explicit BackgroundThread(std::function<void()> fn);
+  ~BackgroundThread() { Join(); }
+
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  /// Block until the thread function returns. Idempotent.
+  void Join();
+
+ private:
+  std::thread thread_;
 };
 
 }  // namespace uic

@@ -179,6 +179,11 @@ Result<SweepReport> SweepRunner::Run() {
     if (!solver.ok()) return solver.status();
 
     for (const std::vector<uint32_t>& budgets : spec_.budget_points) {
+      if (spec_.cancel != nullptr &&
+          spec_.cancel->load(std::memory_order_relaxed)) {
+        report.interrupted = true;
+        return report;  // partial: completed rows only
+      }
       if (!spec_.warm) cache_.Clear();  // cold mode: every cell resamples
       // Com-IC coin pools rarely repeat across points (coins derive from
       // the point's i2 seeds); keep only the newest few so a long sweep's

@@ -21,6 +21,7 @@
 // between the two).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -66,6 +67,13 @@ struct SweepSpec {
   /// cell samples cold — useful to measure the warm/cold gap with
   /// identical instrumentation (results are identical either way).
   bool warm = true;
+
+  /// Optional cooperative-cancel flag (typically set from a SIGINT/SIGTERM
+  /// handler). Checked between cells: once true, the runner stops before
+  /// starting the next cell and returns the partial report with
+  /// `SweepReport::interrupted` set — completed rows are untouched, so a
+  /// driver can still flush them. Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief One (algorithm, budget point) measurement.
@@ -96,6 +104,9 @@ struct SweepReport {
   size_t total_rr_sets = 0;      ///< Σ num_rr_sets over rows
   size_t total_rr_sampled = 0;   ///< distinct sets sampled over the sweep
   bool warm = true;
+  /// True when `SweepSpec::cancel` fired: `rows` covers only the cells
+  /// completed before the interrupt.
+  bool interrupted = false;
 
   /// One line per row: algorithm,budgets,welfare,std_error,seconds,
   /// num_rr_sets,rr_sets_sampled,objective. `include_timing=false`

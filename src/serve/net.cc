@@ -1,0 +1,197 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace uic {
+namespace serve {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+
+/// poll() for readability, re-arming on EINTR. Returns false when `stop`
+/// fired (or on a poll error), true when `fd` is readable/at EOF.
+bool WaitReadable(int fd, const std::atomic<bool>* stop) {
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, stop != nullptr ? kPollIntervalMs : -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc > 0) return true;  // readable, HUP, or error — read() resolves
+  }
+}
+
+}  // namespace
+
+bool FdLineChannel::ReadLine(std::string* line,
+                             const std::atomic<bool>* stop) {
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      *line = std::move(buffer_);  // final unterminated line
+      buffer_.clear();
+      return true;
+    }
+    if (!WaitReadable(read_fd_, stop)) return false;
+    char chunk[4096];
+    const ssize_t n = read(read_fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool FdLineChannel::WriteLine(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n;
+    if (socket_fds_) {
+      n = send(write_fd_, framed.data() + off, framed.size() - off,
+               MSG_NOSIGNAL);
+    } else {
+      n = write(write_fd_, framed.data() + off, framed.size() - off);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    port_ = o.port_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("bind 127.0.0.1:") +
+                           std::to_string(port) + ": " + strerror(err));
+  }
+  if (listen(fd, 16) < 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("listen: ") + strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("getsockname: ") + strerror(err));
+  }
+
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpConnection> TcpListener::Accept(const std::atomic<bool>& stop) {
+  while (true) {
+    if (!WaitReadable(fd_, &stop)) return TcpConnection();  // stop fired
+    const int fd = accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IOError(std::string("accept: ") + strerror(errno));
+    }
+    return TcpConnection(fd);
+  }
+}
+
+Result<TcpConnection> TcpListener::Connect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+    if (errno == EINTR) continue;
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("connect 127.0.0.1:") +
+                           std::to_string(port) + ": " + strerror(err));
+  }
+  return TcpConnection(fd);
+}
+
+}  // namespace serve
+}  // namespace uic

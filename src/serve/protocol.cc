@@ -1,0 +1,84 @@
+#include "serve/protocol.h"
+
+namespace uic {
+namespace serve {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode CodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+    case Status::Code::kInternal:
+      return ErrorCode::kInternal;
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kOutOfRange:
+      return ErrorCode::kBadRequest;
+    case Status::Code::kNotFound:
+      return ErrorCode::kNotFound;
+    case Status::Code::kIOError:
+      return ErrorCode::kNotFound;
+    case Status::Code::kFailedPrecondition:
+      return ErrorCode::kFailedPrecondition;
+  }
+  return ErrorCode::kInternal;
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  Result<Json> doc = Json::Parse(line);
+  if (!doc.ok()) return doc.status();
+  if (!doc.value().is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request request;
+  request.body = doc.MoveValue();
+  if (const Json* id = request.body.Find("id")) request.id = *id;
+  const Json* verb = request.body.Find("verb");
+  if (verb == nullptr || !verb->is_string() || verb->AsString().empty()) {
+    return Status::InvalidArgument("request needs a non-empty string 'verb'");
+  }
+  request.verb = verb->AsString();
+  if (const Json* deadline = request.body.Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->AsDouble() < 0.0) {
+      return Status::InvalidArgument(
+          "'deadline_ms' must be a non-negative number");
+    }
+    request.deadline_ms = deadline->AsDouble();
+  }
+  return request;
+}
+
+std::string OkResponse(const Json& id, const Json& result,
+                       const Json& serve_info) {
+  Json response = Json::Object();
+  response.Set("id", id);
+  response.Set("ok", Json::Bool(true));
+  response.Set("result", result);
+  if (!serve_info.is_null()) response.Set("serve", serve_info);
+  return response.Dump();
+}
+
+std::string ErrorResponse(const Json& id, ErrorCode code,
+                          const std::string& message) {
+  Json error = Json::Object();
+  error.Set("code", Json::Str(ErrorCodeName(code)));
+  error.Set("message", Json::Str(message));
+  Json response = Json::Object();
+  response.Set("id", id);
+  response.Set("ok", Json::Bool(false));
+  response.Set("error", std::move(error));
+  return response.Dump();
+}
+
+}  // namespace serve
+}  // namespace uic

@@ -1,0 +1,466 @@
+#include "serve/server.h"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "diffusion/lt_model.h"
+#include "diffusion/uic_model.h"
+#include "items/itemset.h"
+#include "solver/registry.h"
+
+namespace uic {
+namespace serve {
+
+namespace {
+
+std::string GetStringField(const Json& body, const char* key,
+                           const std::string& def = "") {
+  const Json* field = body.Find(key);
+  if (field == nullptr || !field->is_string()) return def;
+  return field->AsString();
+}
+
+Result<long long> GetIntField(const Json& body, const char* key,
+                              long long def, long long lo, long long hi) {
+  const Json* field = body.Find(key);
+  if (field == nullptr) return def;
+  if (!field->is_number()) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a number");
+  }
+  const long long v = field->AsInt();
+  if (field->AsDouble() != static_cast<double>(v) || v < lo || v > hi) {
+    return Status::InvalidArgument(
+        std::string("'") + key + "' must be an integer in [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+Result<double> GetNumberField(const Json& body, const char* key, double def,
+                              double lo, double hi) {
+  const Json* field = body.Find(key);
+  if (field == nullptr) return def;
+  if (!field->is_number() || field->AsDouble() < lo ||
+      field->AsDouble() > hi) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a number in [" +
+                                   std::to_string(lo) + ", " +
+                                   std::to_string(hi) + "]");
+  }
+  return field->AsDouble();
+}
+
+Json AllocationToJson(const Allocation& allocation) {
+  Json out = Json::Array();
+  for (const auto& [node, items] : allocation.entries()) {
+    Json entry = Json::Object();
+    entry.Set("node", Json::Int(node));
+    Json item_list = Json::Array();
+    ForEachItem(items,
+                [&](ItemId i) { item_list.Append(Json::Int(i)); });
+    entry.Set("items", std::move(item_list));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+/// RAII admission-slot return.
+struct SlotGuard {
+  AdmissionController* admission;
+  ~SlotGuard() { admission->Release(); }
+};
+
+}  // namespace
+
+Server::Server(ServerOptions options, std::atomic<bool>* stop)
+    : options_(options),
+      stop_(stop != nullptr ? stop : &own_stop_),
+      sessions_(options.max_graphs, options.max_params),
+      warm_(options.warm_entries),
+      admission_({options.concurrency, options.queue_capacity}) {}
+
+void Server::BeginDrain() {
+  stop_->store(true, std::memory_order_relaxed);
+  admission_.BeginDrain();
+}
+
+Json Server::Stats() const {
+  Json out = Json::Object();
+  out.Set("sessions", sessions_.Describe());
+  out.Set("warm_cache", warm_.Describe());
+  out.Set("admission", admission_.Describe());
+  out.Set("requests", counters_.Describe(options_.include_timing));
+  return out;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    counters_.Record(false);
+    return ErrorResponse(Json::Null(), ErrorCode::kBadRequest,
+                         parsed.status().message());
+  }
+  return HandleRequest(parsed.value());
+}
+
+std::string Server::HandleRequest(const Request& request) {
+  const Json& id = request.id;
+  const std::string& verb = request.verb;
+
+  if (verb == "ping") {
+    counters_.Record(true);
+    Json result = Json::Object();
+    result.Set("pong", Json::Bool(true));
+    return OkResponse(id, result, Json::Null());
+  }
+  if (verb == "stats") {
+    counters_.Record(true);
+    return OkResponse(id, Stats(), Json::Null());
+  }
+  if (verb == "shutdown") {
+    BeginDrain();
+    counters_.Record(true);
+    Json result = Json::Object();
+    result.Set("draining", Json::Bool(true));
+    return OkResponse(id, result, Json::Null());
+  }
+  if (verb == "unload") {
+    Result<Json> result = DoUnload(request.body);
+    counters_.Record(result.ok());
+    if (!result.ok()) {
+      return ErrorResponse(id, CodeFromStatus(result.status()),
+                           result.status().message());
+    }
+    return OkResponse(id, result.value(), Json::Null());
+  }
+
+  if (verb == "load_graph" || verb == "load_params" || verb == "solve") {
+    double queued_ms = 0.0;
+    switch (admission_.Admit(request.deadline_ms, &queued_ms)) {
+      case AdmissionController::Decision::kShed:
+        counters_.Record(false);
+        return ErrorResponse(id, ErrorCode::kOverloaded,
+                             "admission queue full; retry later");
+      case AdmissionController::Decision::kDeadlineExceeded:
+        counters_.Record(false);
+        return ErrorResponse(id, ErrorCode::kDeadlineExceeded,
+                             "request exceeded its deadline_ms while queued");
+      case AdmissionController::Decision::kDraining:
+        counters_.Record(false);
+        return ErrorResponse(id, ErrorCode::kUnavailable,
+                             "server is draining for shutdown");
+      case AdmissionController::Decision::kAdmitted:
+        break;
+    }
+    SlotGuard slot{&admission_};
+
+    if (verb == "solve") {
+      Json serve_info;
+      Result<Json> result = DoSolve(request.body, queued_ms, &serve_info);
+      counters_.Record(result.ok());
+      if (!result.ok()) {
+        return ErrorResponse(id, CodeFromStatus(result.status()),
+                             result.status().message());
+      }
+      return OkResponse(id, result.value(), serve_info);
+    }
+    Result<Json> result = verb == "load_graph" ? DoLoadGraph(request.body)
+                                               : DoLoadParams(request.body);
+    counters_.Record(result.ok());
+    if (!result.ok()) {
+      // The registry caps are admission control: a full registry sheds
+      // the load (kOverloaded) rather than reporting a client mistake.
+      const ErrorCode code =
+          result.status().code() == Status::Code::kFailedPrecondition
+              ? ErrorCode::kOverloaded
+              : CodeFromStatus(result.status());
+      return ErrorResponse(id, code, result.status().message());
+    }
+    return OkResponse(id, result.value(), Json::Null());
+  }
+
+  counters_.Record(false);
+  return ErrorResponse(id, ErrorCode::kBadRequest,
+                       "unknown verb '" + verb + "'");
+}
+
+Result<Json> Server::DoLoadGraph(const Json& body) {
+  const std::string name = GetStringField(body, "name");
+  if (name.empty()) {
+    return Status::InvalidArgument("load_graph needs a 'name'");
+  }
+  Result<Graph> graph = BuildGraphFromSpec(body);
+  if (!graph.ok()) return graph.status();
+  Result<GraphSession> session =
+      sessions_.AddGraph(name, graph.MoveValue());
+  if (!session.ok()) return session.status();
+  // A same-name replace retires the old generation's warm entries: the
+  // old graph object stays alive only for solves already holding a pin.
+  Json result = Json::Object();
+  result.Set("name", Json::Str(session.value().name));
+  result.Set("generation",
+             Json::Int(static_cast<long long>(session.value().generation)));
+  result.Set("nodes", Json::Int(session.value().graph->num_nodes()));
+  result.Set("edges", Json::Int(static_cast<long long>(
+                          session.value().graph->num_edges())));
+  return result;
+}
+
+Result<Json> Server::DoLoadParams(const Json& body) {
+  const std::string name = GetStringField(body, "name");
+  if (name.empty()) {
+    return Status::InvalidArgument("load_params needs a 'name'");
+  }
+  Result<ItemParams> params = BuildParamsFromSpec(body);
+  if (!params.ok()) return params.status();
+  Result<ParamsSession> session =
+      sessions_.AddParams(name, params.MoveValue());
+  if (!session.ok()) return session.status();
+  Json result = Json::Object();
+  result.Set("name", Json::Str(session.value().name));
+  result.Set("generation",
+             Json::Int(static_cast<long long>(session.value().generation)));
+  result.Set("items", Json::Int(session.value().params->num_items()));
+  return result;
+}
+
+Result<Json> Server::DoUnload(const Json& body) {
+  const std::string graph_name = GetStringField(body, "graph");
+  const std::string params_name = GetStringField(body, "params");
+  if (graph_name.empty() == params_name.empty()) {
+    return Status::InvalidArgument(
+        "unload needs exactly one of 'graph' or 'params'");
+  }
+  Json result = Json::Object();
+  if (!graph_name.empty()) {
+    uint64_t generation = 0;
+    UIC_RETURN_NOT_OK(sessions_.RemoveGraph(graph_name, &generation));
+    warm_.DropGeneration(generation);
+    result.Set("unloaded_graph", Json::Str(graph_name));
+  } else {
+    UIC_RETURN_NOT_OK(sessions_.RemoveParams(params_name));
+    result.Set("unloaded_params", Json::Str(params_name));
+  }
+  return result;
+}
+
+Result<Json> Server::DoSolve(const Json& body, double queued_ms,
+                             Json* serve_info) {
+  const std::string graph_name = GetStringField(body, "graph");
+  if (graph_name.empty()) {
+    return Status::InvalidArgument("solve needs a 'graph' session name");
+  }
+  Result<GraphSession> graph_session = sessions_.GetGraph(graph_name);
+  if (!graph_session.ok()) return graph_session.status();
+  const GraphSession& graph = graph_session.value();
+
+  const Json* budgets_field = body.Find("budgets");
+  if (budgets_field == nullptr || !budgets_field->is_array() ||
+      budgets_field->items().empty()) {
+    return Status::InvalidArgument(
+        "'budgets' must be a non-empty array of per-item seed budgets");
+  }
+  std::vector<uint32_t> budgets;
+  for (const Json& b : budgets_field->items()) {
+    if (!b.is_number() ||
+        b.AsDouble() != static_cast<double>(b.AsInt()) || b.AsInt() < 0 ||
+        b.AsInt() > 1000000) {
+      return Status::InvalidArgument(
+          "'budgets' entries must be integers in [0, 1000000]");
+    }
+    budgets.push_back(static_cast<uint32_t>(b.AsInt()));
+  }
+
+  WelfareProblem problem;
+  problem.graph = graph.graph.get();
+  problem.budgets = std::move(budgets);
+
+  const std::string params_name = GetStringField(body, "params");
+  if (!params_name.empty()) {
+    Result<ParamsSession> params = sessions_.GetParams(params_name);
+    if (!params.ok()) return params.status();
+    problem.params = *params.value().params;
+  }
+
+  const std::string model = GetStringField(body, "model", "ic");
+  if (model != "ic" && model != "lt") {
+    return Status::InvalidArgument("'model' must be \"ic\" or \"lt\"");
+  }
+  const bool lt = model == "lt";
+  problem.model = lt ? DiffusionModel::kLinearThreshold
+                     : DiffusionModel::kIndependentCascade;
+
+  SolverOptions options;
+  Result<long long> seed = GetIntField(body, "seed", 1, 0, INT64_MAX);
+  if (!seed.ok()) return seed.status();
+  options.seed = static_cast<uint64_t>(seed.value());
+  Result<double> eps = GetNumberField(body, "eps", 0.5, 1e-6, 1.0);
+  if (!eps.ok()) return eps.status();
+  options.eps = eps.value();
+  Result<double> ell = GetNumberField(body, "ell", 1.0, 1e-6, 16.0);
+  if (!ell.ok()) return ell.status();
+  options.ell = ell.value();
+  options.rr_options.linear_threshold = lt;
+
+  const std::string algorithm = GetStringField(body, "algorithm",
+                                               "bundle-grd");
+  Result<long long> eval_sims =
+      GetIntField(body, "eval_sims", 0, 0, 1000000);
+  if (!eval_sims.ok()) return eval_sims.status();
+  Result<long long> eval_seed =
+      GetIntField(body, "eval_seed", 20190701, 0, INT64_MAX);
+  if (!eval_seed.ok()) return eval_seed.status();
+  const Json* warm_field = body.Find("warm");
+  if (warm_field != nullptr && !warm_field->is_bool()) {
+    return Status::InvalidArgument("'warm' must be a boolean");
+  }
+  const bool warm = warm_field == nullptr || warm_field->AsBool(true);
+
+  // Warm path: exclusive lease on the shared pool for (generation, seed,
+  // LT). Cold path ('warm':false): a private cache, so the request still
+  // reports exact sampled counts — the payload is identical either way by
+  // the RrStreamCache replay contract.
+  RrStreamCache cold_cache;
+  WarmLease lease;
+  RrStreamCache* cache = &cold_cache;
+  bool warm_hit = false;
+  if (warm) {
+    WarmKey key;
+    key.generation = graph.generation;
+    key.seed = options.seed;
+    key.linear_threshold = lt;
+    lease = warm_.Acquire(key, graph.graph);
+    cache = lease.cache();
+    warm_hit = lease.hit();
+  }
+  const RrStreamCache::Stats before = cache->stats();
+  options.rr_options.stream_cache = cache;
+
+  WallTimer timer;
+  Result<std::unique_ptr<Solver>> solver =
+      SolverRegistry::CreateOrError(algorithm, options);
+  if (!solver.ok()) return solver.status();
+  Result<AllocationResult> solved = solver.value()->Solve(problem);
+  const double solve_ms = timer.ElapsedMillis();
+  const RrStreamCache::Stats after = cache->stats();
+  // Hand the pool back before the (cache-independent) welfare evaluation
+  // so a same-key request can start solving during our eval.
+  lease.Release();
+  if (!solved.ok()) return solved.status();
+  counters_.RecordSolve(solve_ms);
+  const AllocationResult& allocation_result = solved.value();
+
+  Json result = Json::Object();
+  result.Set("algorithm", Json::Str(solver.value()->name()));
+  result.Set("model", Json::Str(model));
+  result.Set("seed", Json::Int(seed.value()));
+  result.Set("allocation", AllocationToJson(allocation_result.allocation));
+  result.Set("num_rr_sets",
+             Json::Int(static_cast<long long>(
+                 allocation_result.num_rr_sets)));
+  result.Set("objective", Json::Number(allocation_result.objective));
+  if (problem.params.has_value() && eval_sims.value() > 0) {
+    const WelfareEstimate estimate =
+        lt ? EstimateWelfareLt(*problem.graph,
+                               allocation_result.allocation,
+                               *problem.params,
+                               static_cast<size_t>(eval_sims.value()),
+                               static_cast<uint64_t>(eval_seed.value()))
+           : EstimateWelfare(*problem.graph, allocation_result.allocation,
+                             *problem.params,
+                             static_cast<size_t>(eval_sims.value()),
+                             static_cast<uint64_t>(eval_seed.value()));
+    Json welfare = Json::Object();
+    welfare.Set("welfare", Json::Number(estimate.welfare));
+    welfare.Set("std_error", Json::Number(estimate.std_error));
+    welfare.Set("avg_adopters", Json::Number(estimate.avg_adopters));
+    welfare.Set("avg_adoptions", Json::Number(estimate.avg_adoptions));
+    result.Set("welfare", std::move(welfare));
+  }
+
+  *serve_info = Json::Object();
+  serve_info->Set("warm", Json::Bool(warm));
+  serve_info->Set("warm_hit", Json::Bool(warm_hit));
+  serve_info->Set("rr_sets_sampled",
+                  Json::Int(static_cast<long long>(after.sampled_sets -
+                                                   before.sampled_sets)));
+  serve_info->Set("rr_sets_served",
+                  Json::Int(static_cast<long long>(after.served_sets -
+                                                   before.served_sets)));
+  if (options_.include_timing) {
+    serve_info->Set("queued_ms", Json::Number(queued_ms));
+    serve_info->Set("solve_ms", Json::Number(solve_ms));
+  }
+  return result;
+}
+
+void Server::ServePipe(FdLineChannel& channel) {
+  std::string line;
+  while (!stopping() && channel.ReadLine(&line, stop_)) {
+    if (line.empty()) continue;
+    if (!channel.WriteLine(HandleLine(line))) break;
+  }
+}
+
+Status Server::ServeTcp(TcpListener& listener) {
+  struct ConnectionWorker {
+    std::shared_ptr<TcpConnection> connection;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::unique_ptr<BackgroundThread> thread;
+  };
+  std::vector<ConnectionWorker> workers;
+
+  while (!stopping()) {
+    Result<TcpConnection> accepted = listener.Accept(*stop_);
+    if (!accepted.ok()) {
+      BeginDrain();
+      for (auto& w : workers) w.thread->Join();
+      return accepted.status();
+    }
+    if (!accepted.value().valid()) break;  // stop flag fired
+
+    ConnectionWorker worker;
+    worker.connection =
+        std::make_shared<TcpConnection>(accepted.MoveValue());
+    worker.done = std::make_shared<std::atomic<bool>>(false);
+    auto connection = worker.connection;
+    auto done = worker.done;
+    worker.thread = std::make_unique<BackgroundThread>([this, connection,
+                                                        done]() {
+      FdLineChannel channel(connection->fd(), connection->fd(),
+                            /*socket_fds=*/true);
+      std::string line;
+      while (channel.ReadLine(&line, stop_)) {
+        if (line.empty()) continue;
+        if (!channel.WriteLine(HandleLine(line))) break;
+        if (stopping()) break;
+      }
+      done->store(true, std::memory_order_release);
+    });
+    workers.push_back(std::move(worker));
+
+    // Reap finished connections so a long-lived daemon doesn't accumulate
+    // one joinable thread per past client.
+    for (size_t i = workers.size(); i > 0; --i) {
+      if (workers[i - 1].done->load(std::memory_order_acquire)) {
+        workers[i - 1].thread->Join();
+        workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      }
+    }
+  }
+
+  // Drain: every connection thread observes the stop flag within the poll
+  // interval, finishes (and answers) its in-flight request, and exits.
+  BeginDrain();
+  for (auto& w : workers) w.thread->Join();
+  admission_.AwaitIdle();
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace uic

@@ -1,0 +1,104 @@
+// The welfare-query server: verb dispatch over the JSON-lines protocol,
+// glued to the session registry, warm cache, and admission scheduler.
+//
+// Verb roster (request fields beyond the envelope live on the same
+// object; see protocol.h for the envelope):
+//
+//   ping        → {"pong":true}
+//   load_graph  name + (path | network spec, session.h)  [admission-gated]
+//   load_params name + (path | config)                   [admission-gated]
+//   solve       graph, budgets, [params, algorithm="bundle-grd", seed=1,
+//               eps=0.5, ell=1.0, model="ic"|"lt", eval_sims=0,
+//               eval_seed, warm=true]                    [admission-gated]
+//   unload      {"graph":name} or {"params":name} — dropping a graph also
+//               drops its warm-cache entries (by generation)
+//   stats       registry + warm pool + scheduler + request counters
+//   shutdown    begin drain; in-flight requests finish, readers stop
+//
+// Determinism contract: everything under a response's `result` key is a
+// pure function of the request (given the loaded sessions) — bit-identical
+// whether served cold, warm, or concurrently with other clients, at any
+// worker count. Load-dependent accounting (cache hit, RR sampled vs
+// reused, latency) lives under `serve`, never under `result`; wall-clock
+// fields additionally require `include_timing` (off in golden tests).
+//
+// Threading: HandleLine is safe to call from any number of threads
+// concurrently — per-request state is on the stack, shared state is
+// behind the component mutexes, and same-key warm solves serialize on
+// their WarmLease. ServeTcp runs one BackgroundThread per connection;
+// ServePipe serves a single in-process session (requests handled on the
+// caller's thread, in order).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "serve/json.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+#include "serve/warm_cache.h"
+
+namespace uic {
+namespace serve {
+
+struct ServerOptions {
+  unsigned concurrency = 2;     ///< simultaneous admitted requests
+  size_t queue_capacity = 16;   ///< admission queue bound (then shed)
+  size_t max_graphs = 8;        ///< session registry caps
+  size_t max_params = 32;
+  size_t warm_entries = 16;     ///< warm-cache LRU bound
+  /// Emit wall-clock fields (`serve.queued_ms`, `serve.solve_ms`,
+  /// `stats.solve_ms_total`). Off = byte-reproducible sessions.
+  bool include_timing = true;
+};
+
+class Server {
+ public:
+  /// `stop`: optional caller-owned flag (the daemon's signal flag); the
+  /// `shutdown` verb sets it too. nullptr uses an internal flag.
+  explicit Server(ServerOptions options, std::atomic<bool>* stop = nullptr);
+
+  /// Handle one request line; returns the response line (no newline).
+  std::string HandleLine(const std::string& line);
+
+  /// Serve one JSON-lines session on `channel` until EOF, a `shutdown`
+  /// verb, or the stop flag. Requests run on the caller's thread.
+  void ServePipe(FdLineChannel& channel);
+
+  /// Accept loop: one BackgroundThread per connection, until the stop
+  /// flag (signal or `shutdown` verb). Drains — every connection thread
+  /// finishes its in-flight request and is joined — before returning.
+  [[nodiscard]] Status ServeTcp(TcpListener& listener);
+
+  /// Start draining: fail new/queued admissions, stop readers. In-flight
+  /// requests still complete (that is the graceful-shutdown contract).
+  void BeginDrain();
+
+  bool stopping() const { return stop_->load(std::memory_order_relaxed); }
+
+  /// The `stats` verb's payload (also handy for tests).
+  Json Stats() const;
+
+ private:
+  std::string HandleRequest(const Request& request);
+  [[nodiscard]] Result<Json> DoLoadGraph(const Json& body);
+  [[nodiscard]] Result<Json> DoLoadParams(const Json& body);
+  [[nodiscard]] Result<Json> DoSolve(const Json& body, double queued_ms,
+                                     Json* serve_info);
+  [[nodiscard]] Result<Json> DoUnload(const Json& body);
+
+  const ServerOptions options_;
+  std::atomic<bool> own_stop_{false};
+  std::atomic<bool>* const stop_;
+
+  SessionRegistry sessions_;
+  WarmPool warm_;
+  AdmissionController admission_;
+  RequestCounters counters_;
+};
+
+}  // namespace serve
+}  // namespace uic

@@ -1,0 +1,60 @@
+// Request-level counters for the `stats` verb and per-response `serve`
+// accounting. Kept apart from the scheduler/warm-pool counters (which
+// describe their own subsystems) so the server has one place that counts
+// every request, including the ones rejected before admission.
+#pragma once
+
+#include <cstdint>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "serve/json.h"
+
+namespace uic {
+namespace serve {
+
+/// \brief Thread-safe request/response tallies.
+class RequestCounters {
+ public:
+  void Record(bool ok) {
+    MutexLock lock(mu_);
+    ++requests_;
+    if (ok) {
+      ++ok_;
+    } else {
+      ++errors_;
+    }
+  }
+
+  void RecordSolve(double solve_ms) {
+    MutexLock lock(mu_);
+    ++solves_;
+    solve_ms_total_ += solve_ms;
+  }
+
+  /// {"requests":..,"ok":..,"errors":..,"solves":..[,"solve_ms_total":..]}
+  /// — the timing sum only with `include_timing` (goldens pin the rest).
+  Json Describe(bool include_timing) const {
+    MutexLock lock(mu_);
+    Json out = Json::Object();
+    out.Set("requests", Json::Int(static_cast<long long>(requests_)));
+    out.Set("ok", Json::Int(static_cast<long long>(ok_)));
+    out.Set("errors", Json::Int(static_cast<long long>(errors_)));
+    out.Set("solves", Json::Int(static_cast<long long>(solves_)));
+    if (include_timing) {
+      out.Set("solve_ms_total", Json::Number(solve_ms_total_));
+    }
+    return out;
+  }
+
+ private:
+  mutable Mutex mu_;
+  uint64_t requests_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t ok_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t errors_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t solves_ UIC_GUARDED_BY(mu_) = 0;
+  double solve_ms_total_ UIC_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace serve
+}  // namespace uic

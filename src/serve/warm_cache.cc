@@ -1,0 +1,167 @@
+#include "serve/warm_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace uic {
+namespace serve {
+
+WarmLease& WarmLease::operator=(WarmLease&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    entry_id_ = o.entry_id_;
+    cache_ = o.cache_;
+    hit_ = o.hit_;
+    o.pool_ = nullptr;
+    o.cache_ = nullptr;
+  }
+  return *this;
+}
+
+void WarmLease::Release() {
+  if (pool_ != nullptr) pool_->Release(entry_id_);
+  pool_ = nullptr;
+  cache_ = nullptr;
+}
+
+WarmPool::Entry* WarmPool::FindEntry(size_t id) {
+  for (auto& entry : entries_) {
+    if (entry->id == id) return entry.get();
+  }
+  return nullptr;
+}
+
+WarmLease WarmPool::Acquire(const WarmKey& key,
+                            std::shared_ptr<const Graph> graph) {
+  MutexLock lock(mu_);
+  while (true) {
+    Entry* found = nullptr;
+    for (auto& entry : entries_) {
+      if (entry->key == key && !entry->dying) {
+        found = entry.get();
+        break;
+      }
+    }
+    if (found == nullptr) break;
+    if (!found->leased) {
+      found->leased = true;
+      found->last_used = ++tick_;
+      ++hits_;
+      WarmLease lease;
+      lease.pool_ = this;
+      lease.entry_id_ = found->id;
+      lease.cache_ = found->cache.get();
+      lease.hit_ = true;
+      return lease;
+    }
+    // Same-key contention: the cache is single-solver; wait for release.
+    // (The entry may be evicted or marked dying while we sleep, so the
+    // loop re-scans from scratch.)
+    released_.Wait(mu_);
+  }
+
+  // Miss: evict the least-recently-used idle entry if at capacity. Leased
+  // entries are unevictable, so the pool can transiently exceed the cap
+  // by the number of concurrent executors — bounded either way.
+  if (entries_.size() >= max_entries_) {
+    size_t victim = entries_.size();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i]->leased) continue;
+      if (victim == entries_.size() ||
+          entries_[i]->last_used < entries_[victim]->last_used) {
+        victim = i;
+      }
+    }
+    if (victim < entries_.size()) {
+      RetireEntry(victim);
+      ++evictions_;
+    }
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->key = key;
+  entry->graph = std::move(graph);
+  entry->cache = std::make_unique<RrStreamCache>();
+  entry->leased = true;
+  entry->last_used = ++tick_;
+  ++misses_;
+  WarmLease lease;
+  lease.pool_ = this;
+  lease.entry_id_ = entry->id;
+  lease.cache_ = entry->cache.get();
+  lease.hit_ = false;
+  entries_.push_back(std::move(entry));
+  return lease;
+}
+
+void WarmPool::RetireEntry(size_t index) {
+  retired_sampled_ += entries_[index]->last_stats.sampled_sets;
+  retired_served_ += entries_[index]->last_stats.served_sets;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void WarmPool::Release(size_t entry_id) {
+  MutexLock lock(mu_);
+  Entry* entry = FindEntry(entry_id);
+  if (entry == nullptr) return;  // dropped via DropGeneration while dying
+  entry->leased = false;
+  if (entry->dying) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i]->id == entry_id) {
+        entry->last_stats = entry->cache->stats();
+        RetireEntry(i);
+        break;
+      }
+    }
+  } else {
+    // Com-IC coin pools (pass-prob entries) derive from the solved budget
+    // point and rarely repeat; cap them so a long-lived entry's memory
+    // tracks reuse, not request count. Safe here: no collection is
+    // serving from the cache once its solve released the lease.
+    entry->cache->TrimPassProbEntries(4);
+    entry->last_stats = entry->cache->stats();
+  }
+  released_.NotifyAll();
+}
+
+void WarmPool::DropGeneration(uint64_t generation) {
+  MutexLock lock(mu_);
+  for (size_t i = entries_.size(); i > 0; --i) {
+    Entry* entry = entries_[i - 1].get();
+    if (entry->key.generation != generation) continue;
+    if (entry->leased) {
+      entry->dying = true;  // dropped by Release
+    } else {
+      RetireEntry(i - 1);
+    }
+  }
+  released_.NotifyAll();
+}
+
+Json WarmPool::Describe() const {
+  MutexLock lock(mu_);
+  size_t leased = 0;
+  uint64_t sampled_sets = retired_sampled_;
+  uint64_t served_sets = retired_served_;
+  for (const auto& entry : entries_) {
+    if (entry->leased) ++leased;
+    // last_stats, not cache->stats(): a leased entry's live cache is
+    // being mutated by its solve and must not be read here.
+    sampled_sets += entry->last_stats.sampled_sets;
+    served_sets += entry->last_stats.served_sets;
+  }
+  Json out = Json::Object();
+  out.Set("entries", Json::Int(static_cast<long long>(entries_.size())));
+  out.Set("leased", Json::Int(static_cast<long long>(leased)));
+  out.Set("hits", Json::Int(static_cast<long long>(hits_)));
+  out.Set("misses", Json::Int(static_cast<long long>(misses_)));
+  out.Set("evictions", Json::Int(static_cast<long long>(evictions_)));
+  out.Set("rr_sets_sampled", Json::Int(static_cast<long long>(sampled_sets)));
+  out.Set("rr_sets_served", Json::Int(static_cast<long long>(served_sets)));
+  return out;
+}
+
+}  // namespace serve
+}  // namespace uic

@@ -1,0 +1,142 @@
+// The serve layer's warm state: RrStreamCache instances shared across
+// requests, checked out exclusively per (graph generation, seed, LT).
+//
+// An `RrStreamCache` (rrset/rr_stream_cache.h) memoizes per-stream RR
+// sample sequences so a repeat solve extends cached streams instead of
+// resampling — but it is deliberately mutex-free and NOT safe across
+// concurrent solver invocations. `WarmPool` turns it into a serving-grade
+// resource: entries are keyed by (graph generation, master seed,
+// LT-sampling flag) — the coordinates RR stream content is a pure
+// function of — and `Acquire` hands out an *exclusive lease*; a second
+// request on the same key blocks until the first releases. Requests on
+// different keys run fully concurrently (they share no mutable state).
+//
+// Because cached streams replay exactly what a cold collection would have
+// drawn, a warm-served response is bit-identical to a cold one; the only
+// observable difference is the `rr_sets_sampled` accounting the server
+// reports per response. The pool enforces an LRU entry cap (idle entries
+// evict; leased entries never do) so long-running daemons hold a bounded
+// number of sample pools.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "graph/graph.h"
+#include "rrset/rr_stream_cache.h"
+#include "serve/json.h"
+
+namespace uic {
+namespace serve {
+
+/// \brief Identity of one warm sample pool: the coordinates RR stream
+/// content is a pure function of (graph via generation; seed; sampling
+/// semantics via the LT flag — per-request pass-prob vectors are keyed
+/// inside the RrStreamCache itself).
+struct WarmKey {
+  uint64_t generation = 0;
+  uint64_t seed = 0;
+  bool linear_threshold = false;
+
+  bool operator==(const WarmKey& o) const {
+    return generation == o.generation && seed == o.seed &&
+           linear_threshold == o.linear_threshold;
+  }
+};
+
+class WarmPool;
+
+/// \brief Exclusive RAII lease on one warm cache entry.
+class WarmLease {
+ public:
+  WarmLease() = default;
+  WarmLease(WarmLease&& o) noexcept { *this = std::move(o); }
+  WarmLease& operator=(WarmLease&& o) noexcept;
+  ~WarmLease() { Release(); }
+
+  WarmLease(const WarmLease&) = delete;
+  WarmLease& operator=(const WarmLease&) = delete;
+
+  /// The leased cache; nullptr on a default-constructed lease.
+  RrStreamCache* cache() const { return cache_; }
+  /// True when the entry existed before this Acquire (a warm hit).
+  bool hit() const { return hit_; }
+
+  /// Give the entry back (idempotent; the destructor calls it).
+  void Release();
+
+ private:
+  friend class WarmPool;
+  WarmPool* pool_ = nullptr;
+  size_t entry_id_ = 0;
+  RrStreamCache* cache_ = nullptr;
+  bool hit_ = false;
+};
+
+/// \brief Bounded pool of exclusively-leased RrStreamCache entries.
+class WarmPool {
+ public:
+  explicit WarmPool(size_t max_entries = 16) : max_entries_(max_entries) {}
+
+  /// Check out the entry for `key`, creating it on first use (`graph`
+  /// pins the graph for the entry's lifetime). Blocks while another
+  /// lease holds the same key. Creating past the cap first evicts the
+  /// least-recently-used idle entry.
+  WarmLease Acquire(const WarmKey& key,
+                    std::shared_ptr<const Graph> graph);
+
+  /// Drop every entry of `generation` (an unloaded graph). Idle entries
+  /// drop immediately; leased ones are marked dying and drop on release.
+  void DropGeneration(uint64_t generation);
+
+  /// Aggregate accounting for the `stats` verb: entries, hits, misses,
+  /// evictions, and the summed RrStreamCache sampled/served counters.
+  Json Describe() const;
+
+ private:
+  friend class WarmLease;
+
+  struct Entry {
+    size_t id = 0;  ///< stable handle (entries_ indices shift on evict)
+    WarmKey key;
+    std::shared_ptr<const Graph> graph;
+    std::unique_ptr<RrStreamCache> cache;
+    bool leased = false;
+    bool dying = false;
+    uint64_t last_used = 0;  ///< LRU tick
+    /// Counters snapshotted at each Release, while the lease still holds
+    /// the cache exclusively — `Describe` must never read a leased
+    /// entry's live RrStreamCache (it is mutex-free by design), so stats
+    /// lag by at most the in-flight solve.
+    RrStreamCache::Stats last_stats;
+  };
+
+  void Release(size_t entry_id);
+
+  /// Locate `id` in entries_; nullptr when evicted. UIC_REQUIRES(mu_).
+  Entry* FindEntry(size_t id) UIC_REQUIRES(mu_);
+
+  /// Fold entries_[index]'s counters into the retired totals and erase it.
+  void RetireEntry(size_t index) UIC_REQUIRES(mu_);
+
+  const size_t max_entries_;
+
+  mutable Mutex mu_;
+  CondVar released_;
+  std::vector<std::unique_ptr<Entry>> entries_ UIC_GUARDED_BY(mu_);
+  uint64_t tick_ UIC_GUARDED_BY(mu_) = 0;
+  size_t next_id_ UIC_GUARDED_BY(mu_) = 1;
+  uint64_t hits_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ UIC_GUARDED_BY(mu_) = 0;
+  /// Sampled/served totals of entries that were evicted or dropped, so
+  /// Describe's aggregates stay monotone across evictions.
+  uint64_t retired_sampled_ UIC_GUARDED_BY(mu_) = 0;
+  uint64_t retired_served_ UIC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace serve
+}  // namespace uic

@@ -50,6 +50,16 @@ run_and_compare(bundle_grd_report uic_run_bundle_grd.txt
   --algorithm bundle-grd --network er --nodes 200 --edges 1200 --net-seed 5
   --budget 3 --mc 200 --eval-seed 9 --seed 4 --workers 2 --no-timing)
 
+# Worker-count invariance (the golden above was pinned at --workers 2):
+# the identical report at 1 and 8 workers proves the seed-only determinism
+# contract holds across the thread-pool fan-out.
+run_and_compare(bundle_grd_report_workers_1 uic_run_bundle_grd.txt
+  --algorithm bundle-grd --network er --nodes 200 --edges 1200 --net-seed 5
+  --budget 3 --mc 200 --eval-seed 9 --seed 4 --workers 1 --no-timing)
+run_and_compare(bundle_grd_report_workers_8 uic_run_bundle_grd.txt
+  --algorithm bundle-grd --network er --nodes 200 --edges 1200 --net-seed 5
+  --budget 3 --mc 200 --eval-seed 9 --seed 4 --workers 8 --no-timing)
+
 run_and_compare(bdhs_report uic_run_bdhs.txt
   --algorithm bdhs --network er --nodes 150 --edges 900 --net-seed 5
   --budget 2 --mc 100 --eval-seed 9 --seed 4 --workers 2 --no-timing)

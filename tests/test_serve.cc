@@ -1,0 +1,469 @@
+// Tests for the serve subsystem: the JSON model, the wire protocol, the
+// session registry, admission control, the warm pool, and the Server's
+// end-to-end determinism contract — a solve's `result` payload is
+// bit-identical cold, warm, across server instances, and across four
+// concurrent TCP clients.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "serve/json.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "serve/warm_cache.h"
+
+namespace uic {
+namespace serve {
+namespace {
+
+// --- Json --------------------------------------------------------------
+
+TEST(ServeJson, DumpIsInsertionOrderedAndIntegralNumbersArePlain) {
+  Json obj = Json::Object();
+  obj.Set("zeta", Json::Int(3));
+  obj.Set("alpha", Json::Bool(true));
+  obj.Set("pi", Json::Number(0.5));
+  Json arr = Json::Array();
+  arr.Append(Json::Str("a\"b"));
+  arr.Append(Json::Null());
+  obj.Set("list", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            "{\"zeta\":3,\"alpha\":true,\"pi\":0.5,\"list\":[\"a\\\"b\",null]}");
+}
+
+TEST(ServeJson, ParseDumpRoundTripIsExact) {
+  const std::string line =
+      "{\"id\":7,\"verb\":\"solve\",\"budgets\":[3,3],\"eps\":0.5,"
+      "\"warm\":false,\"note\":\"tab\\tnl\\n\",\"sub\":{\"x\":null}}";
+  Result<Json> parsed = Json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().Dump(), line);
+}
+
+TEST(ServeJson, ParserRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  // Depth cap: 80 nested arrays exceed the 64-deep limit.
+  std::string deep(80, '[');
+  deep += std::string(80, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(ServeJson, SetOverwritesInPlaceAndFindMissesReturnNull) {
+  Json obj = Json::Object();
+  obj.Set("a", Json::Int(1));
+  obj.Set("b", Json::Int(2));
+  obj.Set("a", Json::Int(9));
+  EXPECT_EQ(obj.Dump(), "{\"a\":9,\"b\":2}");
+  EXPECT_EQ(obj.Find("c"), nullptr);
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->AsInt(), 9);
+}
+
+// --- protocol ----------------------------------------------------------
+
+TEST(ServeProtocol, ParsesTheEnvelopeAndEchoesIdVerbatim) {
+  Result<Request> r =
+      ParseRequest("{\"id\":\"abc\",\"verb\":\"ping\",\"deadline_ms\":250}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().id.AsString(), "abc");
+  EXPECT_EQ(r.value().verb, "ping");
+  EXPECT_EQ(r.value().deadline_ms, 250.0);
+
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseRequest("{\"id\":1}").ok());
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"\"}").ok());
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"ping\",\"deadline_ms\":-1}").ok());
+}
+
+TEST(ServeProtocol, ResponseFramingIsPinned) {
+  Json result = Json::Object();
+  result.Set("pong", Json::Bool(true));
+  EXPECT_EQ(OkResponse(Json::Int(3), result, Json::Null()),
+            "{\"id\":3,\"ok\":true,\"result\":{\"pong\":true}}");
+  Json serve_info = Json::Object();
+  serve_info.Set("warm", Json::Bool(false));
+  EXPECT_EQ(
+      OkResponse(Json::Null(), result, serve_info),
+      "{\"id\":null,\"ok\":true,\"result\":{\"pong\":true},"
+      "\"serve\":{\"warm\":false}}");
+  EXPECT_EQ(ErrorResponse(Json::Int(4), ErrorCode::kOverloaded, "shed"),
+            "{\"id\":4,\"ok\":false,\"error\":{\"code\":\"overloaded\","
+            "\"message\":\"shed\"}}");
+}
+
+TEST(ServeProtocol, StatusCodesMapOntoTheWireVocabulary) {
+  EXPECT_EQ(CodeFromStatus(Status::InvalidArgument("x")),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(CodeFromStatus(Status::NotFound("x")), ErrorCode::kNotFound);
+  EXPECT_EQ(CodeFromStatus(Status::FailedPrecondition("x")),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(CodeFromStatus(Status::Internal("x")), ErrorCode::kInternal);
+}
+
+// --- session registry --------------------------------------------------
+
+Graph TinyGraph(uint64_t seed) {
+  Json spec = Json::Object();
+  spec.Set("network", Json::Str("er"));
+  spec.Set("nodes", Json::Int(50));
+  spec.Set("edges", Json::Int(200));
+  spec.Set("net_seed", Json::Int(static_cast<long long>(seed)));
+  Result<Graph> g = BuildGraphFromSpec(spec);
+  EXPECT_TRUE(g.ok()) << g.status().message();
+  return std::move(g.value());
+}
+
+TEST(ServeSession, GenerationsAreUniqueAndReloadBumpsThem) {
+  SessionRegistry registry(/*max_graphs=*/2, /*max_params=*/2);
+  Result<GraphSession> a = registry.AddGraph("g", TinyGraph(1));
+  ASSERT_TRUE(a.ok());
+  Result<GraphSession> b = registry.AddGraph("g", TinyGraph(2));
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b.value().generation, a.value().generation);
+  // The old pin stays alive for in-flight users even after the reload.
+  EXPECT_NE(a.value().graph, b.value().graph);
+
+  uint64_t dropped = 0;
+  ASSERT_TRUE(registry.RemoveGraph("g", &dropped).ok());
+  EXPECT_EQ(dropped, b.value().generation);
+  EXPECT_FALSE(registry.GetGraph("g").ok());
+  EXPECT_FALSE(registry.RemoveGraph("g").ok());
+}
+
+TEST(ServeSession, CapsRefuseNewNamesButAllowReloads) {
+  SessionRegistry registry(/*max_graphs=*/1, /*max_params=*/1);
+  ASSERT_TRUE(registry.AddGraph("g", TinyGraph(1)).ok());
+  // Replacing the existing name is fine; a second name is over the cap.
+  EXPECT_TRUE(registry.AddGraph("g", TinyGraph(2)).ok());
+  Result<GraphSession> over = registry.AddGraph("g2", TinyGraph(3));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ServeSession, GraphSpecValidation) {
+  Json bad = Json::Object();
+  bad.Set("network", Json::Str("mars"));
+  EXPECT_FALSE(BuildGraphFromSpec(bad).ok());
+  Json empty = Json::Object();
+  EXPECT_FALSE(BuildGraphFromSpec(empty).ok());
+  Json params_bad = Json::Object();
+  params_bad.Set("config", Json::Str("no-such-config"));
+  EXPECT_FALSE(BuildParamsFromSpec(params_bad).ok());
+}
+
+// --- admission control -------------------------------------------------
+
+TEST(ServeAdmission, AdmitsUpToConcurrencyAndReleasesSlots) {
+  AdmissionController gate({/*concurrency=*/2, /*queue_capacity=*/4});
+  double queued_ms = -1.0;
+  EXPECT_EQ(gate.Admit(0.0, &queued_ms), AdmissionController::Decision::kAdmitted);
+  EXPECT_GE(queued_ms, 0.0);
+  EXPECT_EQ(gate.Admit(0.0), AdmissionController::Decision::kAdmitted);
+  gate.Release();
+  gate.Release();
+  gate.AwaitIdle();
+  const Json stats = gate.Describe();
+  EXPECT_EQ(stats.Find("admitted")->AsInt(), 2);
+  EXPECT_EQ(stats.Find("running")->AsInt(), 0);
+}
+
+TEST(ServeAdmission, DeadlineFailsAQueuedRequestWithoutRunningIt) {
+  // Zero slots: the request can never be admitted, so a finite deadline
+  // must fail it deterministically.
+  AdmissionController gate({/*concurrency=*/0, /*queue_capacity=*/4});
+  EXPECT_EQ(gate.Admit(5.0), AdmissionController::Decision::kDeadlineExceeded);
+  EXPECT_EQ(gate.Describe().Find("deadline_exceeded")->AsInt(), 1);
+  gate.AwaitIdle();  // the failed request left no residue
+}
+
+TEST(ServeAdmission, ShedsWhenTheQueueIsFullAndDrainFailsWaiters) {
+  AdmissionController gate({/*concurrency=*/0, /*queue_capacity=*/1});
+  std::atomic<int> waiter_decision{-1};
+  BackgroundThread waiter([&] {
+    waiter_decision.store(static_cast<int>(gate.Admit(0.0)));
+  });
+  // Wait until the waiter is queued, then a second arrival is shed.
+  while (gate.Describe().Find("queued")->AsInt() < 1) {
+  }
+  EXPECT_EQ(gate.Admit(0.0), AdmissionController::Decision::kShed);
+  gate.BeginDrain();
+  waiter.Join();
+  EXPECT_EQ(waiter_decision.load(),
+            static_cast<int>(AdmissionController::Decision::kDraining));
+  EXPECT_EQ(gate.Admit(0.0), AdmissionController::Decision::kDraining);
+  const Json stats = gate.Describe();
+  EXPECT_EQ(stats.Find("shed")->AsInt(), 1);
+  EXPECT_EQ(stats.Find("max_queue_depth")->AsInt(), 1);
+}
+
+// --- warm pool ---------------------------------------------------------
+
+TEST(ServeWarmPool, SecondAcquireOfAKeyIsAHitWithTheSameCache) {
+  WarmPool pool(/*max_entries=*/4);
+  auto graph = std::make_shared<const Graph>(TinyGraph(1));
+  WarmLease first = pool.Acquire({/*generation=*/1, /*seed=*/4, false}, graph);
+  EXPECT_FALSE(first.hit());
+  RrStreamCache* cache = first.cache();
+  ASSERT_NE(cache, nullptr);
+  first.Release();
+  WarmLease second = pool.Acquire({1, 4, false}, graph);
+  EXPECT_TRUE(second.hit());
+  EXPECT_EQ(second.cache(), cache);
+  // Distinct coordinates get distinct entries.
+  WarmLease other_seed = pool.Acquire({1, 5, false}, graph);
+  EXPECT_FALSE(other_seed.hit());
+  EXPECT_NE(other_seed.cache(), cache);
+  WarmLease other_model = pool.Acquire({1, 4, true}, graph);
+  EXPECT_FALSE(other_model.hit());
+}
+
+TEST(ServeWarmPool, SameKeyLeaseIsExclusiveUntilRelease) {
+  WarmPool pool(/*max_entries=*/4);
+  auto graph = std::make_shared<const Graph>(TinyGraph(1));
+  WarmLease held = pool.Acquire({1, 4, false}, graph);
+  std::atomic<bool> acquired{false};
+  BackgroundThread contender([&] {
+    WarmLease lease = pool.Acquire({1, 4, false}, graph);
+    acquired.store(true);
+  });
+  // The contender must still be blocked on the held lease.
+  EXPECT_FALSE(acquired.load());
+  held.Release();
+  contender.Join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(ServeWarmPool, LruEvictionAndGenerationDropsForgetEntries) {
+  WarmPool pool(/*max_entries=*/1);
+  auto graph = std::make_shared<const Graph>(TinyGraph(1));
+  pool.Acquire({1, 4, false}, graph).Release();
+  // A second key evicts the idle first entry (cap is 1)...
+  pool.Acquire({1, 5, false}, graph).Release();
+  // ...so re-acquiring the first key is a miss again.
+  WarmLease again = pool.Acquire({1, 4, false}, graph);
+  EXPECT_FALSE(again.hit());
+  again.Release();
+  EXPECT_GE(pool.Describe().Find("evictions")->AsInt(), 1);
+
+  pool.DropGeneration(1);
+  EXPECT_EQ(pool.Describe().Find("entries")->AsInt(), 0);
+  WarmLease fresh = pool.Acquire({1, 4, false}, graph);
+  EXPECT_FALSE(fresh.hit());
+}
+
+// --- Server end-to-end -------------------------------------------------
+
+ServerOptions GoldenOptions() {
+  ServerOptions options;
+  options.include_timing = false;  // byte-reproducible responses
+  return options;
+}
+
+/// Run the canonical load sequence on `server`: graph "g", params "p".
+void LoadFixtures(Server& server) {
+  const std::string g = server.HandleLine(
+      "{\"id\":1,\"verb\":\"load_graph\",\"name\":\"g\",\"network\":\"er\","
+      "\"nodes\":300,\"edges\":1500}");
+  ASSERT_NE(g.find("\"ok\":true"), std::string::npos) << g;
+  const std::string p = server.HandleLine(
+      "{\"id\":2,\"verb\":\"load_params\",\"name\":\"p\","
+      "\"config\":\"config12\"}");
+  ASSERT_NE(p.find("\"ok\":true"), std::string::npos) << p;
+}
+
+const char kSolveCold[] =
+    "{\"id\":10,\"verb\":\"solve\",\"graph\":\"g\",\"params\":\"p\","
+    "\"budgets\":[3,3],\"seed\":4,\"eval_sims\":100,\"warm\":false}";
+const char kSolveWarm[] =
+    "{\"id\":11,\"verb\":\"solve\",\"graph\":\"g\",\"params\":\"p\","
+    "\"budgets\":[3,3],\"seed\":4,\"eval_sims\":100}";
+
+/// Extract the Dump of one top-level member of a response line.
+std::string Section(const std::string& response, const std::string& key) {
+  Result<Json> parsed = Json::Parse(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  if (!parsed.ok()) return "";
+  const Json* section = parsed.value().Find(key);
+  EXPECT_NE(section, nullptr) << key << " missing in " << response;
+  return section == nullptr ? "" : section->Dump();
+}
+
+TEST(ServeServer, PingStatsAndErrorPaths) {
+  Server server(GoldenOptions());
+  EXPECT_EQ(server.HandleLine("{\"id\":1,\"verb\":\"ping\"}"),
+            "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}");
+  EXPECT_NE(server.HandleLine("garbage").find("\"code\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(
+      server.HandleLine("{\"verb\":\"warp\"}").find("\"code\":\"bad_request\""),
+      std::string::npos);
+  EXPECT_NE(server
+                .HandleLine("{\"id\":2,\"verb\":\"solve\",\"graph\":\"nope\","
+                            "\"budgets\":[1]}")
+                .find("\"code\":\"not_found\""),
+            std::string::npos);
+  const Json stats = server.Stats();
+  ASSERT_NE(stats.Find("requests"), nullptr);
+  EXPECT_EQ(stats.Find("requests")->Find("errors")->AsInt(), 3);
+}
+
+TEST(ServeServer, WarmResultIsByteIdenticalToColdAndSamplesNothing) {
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+
+  const std::string cold = server.HandleLine(kSolveCold);
+  ASSERT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+  const std::string warm1 = server.HandleLine(kSolveWarm);
+  const std::string warm2 = server.HandleLine(kSolveWarm);
+
+  // The determinism contract: `result` is bit-identical cold vs warm.
+  const std::string want = Section(cold, "result");
+  EXPECT_EQ(Section(warm1, "result"), want);
+  EXPECT_EQ(Section(warm2, "result"), want);
+
+  // Warm accounting: the first warm solve fills the pool, the repeat
+  // reuses it — zero RR sets sampled, strictly fewer than the miss.
+  Result<Json> warm2_parsed = Json::Parse(warm2);
+  ASSERT_TRUE(warm2_parsed.ok());
+  const Json* serve_info = warm2_parsed.value().Find("serve");
+  ASSERT_NE(serve_info, nullptr);
+  EXPECT_TRUE(serve_info->Find("warm_hit")->AsBool());
+  EXPECT_EQ(serve_info->Find("rr_sets_sampled")->AsInt(), 0);
+  EXPECT_GT(serve_info->Find("rr_sets_served")->AsInt(), 0);
+}
+
+TEST(ServeServer, ResultsAreIdenticalAcrossServerInstances) {
+  // Two fresh daemons, same requests → same bytes (seed-only determinism;
+  // nothing about process or cache history may leak into `result`).
+  std::string first;
+  {
+    Server server(GoldenOptions());
+    LoadFixtures(server);
+    first = Section(server.HandleLine(kSolveWarm), "result");
+  }
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  EXPECT_EQ(Section(server.HandleLine(kSolveWarm), "result"), first);
+  EXPECT_EQ(Section(server.HandleLine(kSolveCold), "result"), first);
+}
+
+TEST(ServeServer, ReloadingAGraphInvalidatesItsWarmEntries) {
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  ASSERT_NE(server.HandleLine(kSolveWarm).find("\"ok\":true"),
+            std::string::npos);
+  // Reload "g" with a different topology: the warm entry keyed on the old
+  // generation must not serve the new graph's solves.
+  const std::string reload = server.HandleLine(
+      "{\"id\":3,\"verb\":\"load_graph\",\"name\":\"g\",\"network\":\"er\","
+      "\"nodes\":300,\"edges\":1500,\"net_seed\":7}");
+  ASSERT_NE(reload.find("\"ok\":true"), std::string::npos) << reload;
+  const std::string after = server.HandleLine(kSolveWarm);
+  Result<Json> parsed = Json::Parse(after);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().Find("serve")->Find("warm_hit")->AsBool());
+}
+
+TEST(ServeServer, UnloadDropsSessionsAndWarmState) {
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  ASSERT_NE(server.HandleLine(kSolveWarm).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(server.HandleLine("{\"id\":4,\"verb\":\"unload\",\"graph\":\"g\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(server.HandleLine(kSolveWarm).find("\"code\":\"not_found\""),
+            std::string::npos);
+  EXPECT_EQ(server.Stats().Find("warm_cache")->Find("entries")->AsInt(), 0);
+}
+
+TEST(ServeServer, ShutdownVerbDrainsAndPipeSessionEnds) {
+  Server server(GoldenOptions());
+  EXPECT_NE(server.HandleLine("{\"id\":1,\"verb\":\"shutdown\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_TRUE(server.stopping());
+  // Post-drain requests that need admission are refused as unavailable.
+  EXPECT_NE(server
+                .HandleLine("{\"id\":2,\"verb\":\"load_graph\",\"name\":\"g\","
+                            "\"network\":\"er\",\"nodes\":50,\"edges\":200}")
+                .find("\"code\":\"unavailable\""),
+            std::string::npos);
+}
+
+TEST(ServeServer, FourConcurrentTcpClientsGetByteIdenticalResults) {
+  // The reference bytes, served single-threaded over HandleLine.
+  Server reference(GoldenOptions());
+  LoadFixtures(reference);
+  const std::string want = Section(reference.HandleLine(kSolveWarm), "result");
+
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  const uint16_t port = listener.value().port();
+  BackgroundThread serving(
+      [&] { (void)server.ServeTcp(listener.value()); });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 3;
+  std::vector<std::string> results(kClients * kRequestsPerClient);
+  std::vector<std::atomic<bool>> client_ok(kClients);
+  for (auto& ok : client_ok) ok.store(false);
+  {
+    std::vector<std::unique_ptr<BackgroundThread>> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.push_back(std::make_unique<BackgroundThread>([&, c] {
+        Result<TcpConnection> conn = TcpListener::Connect(port);
+        if (!conn.ok()) return;
+        FdLineChannel channel(conn.value().fd(), conn.value().fd(),
+                              /*socket_fds=*/true);
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          if (!channel.WriteLine(kSolveWarm)) return;
+          std::string response;
+          if (!channel.ReadLine(&response)) return;
+          // Raw line only; parsing (with its gtest assertions) happens on
+          // the main thread after the join.
+          results[static_cast<size_t>(c * kRequestsPerClient + r)] =
+              std::move(response);
+        }
+        client_ok[static_cast<size_t>(c)].store(true);
+      }));
+    }
+    for (auto& client : clients) client->Join();
+  }
+  // Shut the daemon down and join the accept loop (drain contract).
+  {
+    Result<TcpConnection> conn = TcpListener::Connect(port);
+    ASSERT_TRUE(conn.ok());
+    FdLineChannel channel(conn.value().fd(), conn.value().fd(), true);
+    ASSERT_TRUE(channel.WriteLine("{\"id\":99,\"verb\":\"shutdown\"}"));
+    std::string response;
+    ASSERT_TRUE(channel.ReadLine(&response));
+  }
+  serving.Join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(client_ok[static_cast<size_t>(c)].load()) << "client " << c;
+  }
+  for (const std::string& response : results) {
+    EXPECT_EQ(Section(response, "result"), want);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace uic

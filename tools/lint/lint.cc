@@ -57,6 +57,12 @@ const std::vector<Rule>& RuleTable() {
        "locks them directly",
        "library code uses uic::Mutex/MutexLock/CondVar (common/mutex.h) "
        "with UIC_GUARDED_BY annotations on the protected members"},
+      {"UIC-L008", "raw-socket-io",
+       "raw socket syscalls (socket/connect/accept/send/recv) scattered "
+       "outside the serve transport bypass its stop-flag polling, EINTR "
+       "retries, and MSG_NOSIGNAL discipline",
+       "go through FdLineChannel/TcpListener/TcpConnection "
+       "(src/serve/net.h); socket syscalls live only in src/serve/net.cc"},
   };
   return rules;
 }
@@ -285,6 +291,8 @@ std::vector<Violation> LintSource(const std::string& path,
   const bool is_thread_pool = PathEndsWith(path, "common/thread_pool.cc") ||
                               PathEndsWith(path, "common/thread_pool.h");
   const bool is_mutex_wrapper = PathEndsWith(path, "common/mutex.h");
+  const bool is_net_layer = PathEndsWith(path, "serve/net.cc") ||
+                            PathEndsWith(path, "serve/net.h");
   // UIC-L007 covers library code only: tests/bench scaffolding may lock a
   // plain std::mutex, the library may not.
   const bool in_library = PathStartsWith(path, "src") ||
@@ -300,6 +308,10 @@ std::vector<Violation> LintSource(const std::string& path,
   static const std::regex re_volatile(R"(\bvolatile\b)");
   static const std::regex re_raw_mutex(
       R"(\bstd\s*::\s*(?:timed_mutex|recursive_mutex|shared_mutex|mutex|condition_variable_any|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+  // Call sites only: the leading char class rejects member/qualified names
+  // (x.send(, Foo::connect() and identifier suffixes (my_send().
+  static const std::regex re_socket_io(
+      R"((?:^|[^\w.>:])(?:socket|accept4?|connect|send|sendto|sendmsg|recv|recvfrom|recvmsg)\s*\()");
 
   const std::vector<std::string> unordered_vars = UnorderedVarNames(stripped);
   std::vector<std::regex> re_unordered_iter;
@@ -346,6 +358,10 @@ std::vector<Violation> LintSource(const std::string& path,
         std::regex_search(line, re_raw_mutex)) {
       Add(&out, path, line_no, "UIC-L007",
           "raw standard-library lock primitive in library code");
+    }
+    if (!is_net_layer && std::regex_search(line, re_socket_io)) {
+      Add(&out, path, line_no, "UIC-L008",
+          "raw socket syscall outside src/serve/net.cc");
     }
   }
 

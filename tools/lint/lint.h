@@ -18,6 +18,8 @@
 //                                 nondeterministic across stdlibs/runs)
 //   UIC-L007 raw-mutex            std::mutex & friends in src/ (invisible
 //                                 to clang -Wthread-safety; use uic::Mutex)
+//   UIC-L008 raw-socket-io        socket/connect/accept/send/recv outside
+//                                 src/serve/net* (the audited transport)
 //
 // Scanning is token-oriented over comment- and string-stripped source, so
 // a doc comment mentioning `std::thread` is not a violation. Vetted

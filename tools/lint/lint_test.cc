@@ -44,6 +44,7 @@ TEST(UicLint, EachRuleFixtureIsCaughtAtTheDocumentedLine) {
       {"violation_thread.cc", "UIC-L004", 5},
       {"violation_volatile.cc", "UIC-L005", 4},
       {"violation_unordered_iter.cc", "UIC-L006", 8},
+      {"violation_socket_io.cc", "UIC-L008", 6},
   };
   for (const FixtureCase& c : cases) {
     const std::vector<Violation> found = LintFixture(c.file);
@@ -76,6 +77,31 @@ TEST(UicLint, ThreadPoolImplementationIsExemptFromRawThreadRule) {
   const std::string source = ReadFile(TestDataPath() + "/violation_thread.cc");
   EXPECT_EQ(LintSource("bench/fork_join.cc", source).size(), 1u);
   EXPECT_TRUE(LintSource("src/common/thread_pool.cc", source).empty());
+}
+
+TEST(UicLint, SocketIoRuleExemptsOnlyTheServeNetLayer) {
+  const std::string source =
+      ReadFile(TestDataPath() + "/violation_socket_io.cc");
+  // The sanctioned transport may make the syscalls...
+  EXPECT_TRUE(LintSource("src/serve/net.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/serve/net.h", source).empty());
+  // ...everything else (library, daemon, tests) may not.
+  EXPECT_EQ(LintSource("src/serve/server.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("examples/uic_served.cpp", source).size(), 1u);
+  EXPECT_EQ(LintSource("tests/test_serve.cc", source).size(), 1u);
+}
+
+TEST(UicLint, SocketIoRuleIgnoresMemberAndQualifiedNames) {
+  // Method calls, qualified names, and identifier suffixes are not the
+  // syscall: only a bare call expression hits.
+  EXPECT_TRUE(
+      LintSource("src/a.cc", "channel.send(fd);\n").empty());
+  EXPECT_TRUE(
+      LintSource("src/a.cc", "Mailbox::connect(peer);\n").empty());
+  EXPECT_TRUE(LintSource("src/a.cc", "int resend(int);\n").empty());
+  EXPECT_TRUE(LintSource("src/a.cc", "box->recv(m);\n").empty());
+  EXPECT_EQ(LintSource("src/a.cc", "recv(fd, buf, n, 0);\n").size(), 1u);
+  EXPECT_EQ(LintSource("src/a.cc", "x = connect(fd, a, l);\n").size(), 1u);
 }
 
 TEST(UicLint, CleanFixtureHasNoViolations) {
@@ -169,9 +195,9 @@ TEST(UicLint, WhitelistLoaderParsesEntriesAndComments) {
   EXPECT_EQ(wl.entries[0].path_suffix, "tests/test_thread_pool.cc");
 }
 
-TEST(UicLint, RuleTableHasSevenRulesWithHints) {
+TEST(UicLint, RuleTableHasEightRulesWithHints) {
   const std::vector<Rule>& rules = RuleTable();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "UIC-L00" + std::to_string(i + 1));
     EXPECT_FALSE(rules[i].hint.empty()) << rules[i].id;

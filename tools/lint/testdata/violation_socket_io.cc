@@ -1,0 +1,8 @@
+// Fixture: UIC-L008 — raw socket syscall outside src/serve/net* (line 6).
+#include <sys/socket.h>
+
+long LeakyTransport(int fd, const char* buf, unsigned long len) {
+  // Qualified/member names must NOT hit; the raw call below must.
+  long sent = send(fd, buf, len, 0);
+  return sent;
+}
