@@ -153,6 +153,62 @@ BENCHMARK(BM_GenerateAndSelect)
     ->ArgsProduct({{1, 4, 8}, {10000, 100000}})
     ->Unit(benchmark::kMillisecond);
 
+// --- sampling kernels: scan vs skip (ISSUE 8) --------------------------
+// Args: (scheme, kernel). Pool generation (workers 4) under the legacy
+// per-edge scan kernel vs the geometric skip kernel, across the repo's
+// probability regimes and degree skews: weighted cascade on a heavy-tailed
+// PA graph (the acceptance pair — compare against BM_GenerateUntil/4/
+// 100000, which runs kernel auto = skip), sparse/dense constant
+// probabilities on ER, and trivalency on PA. The skip kernel's win grows
+// as per-edge probabilities shrink (fewer successes per examined edge).
+void BM_SampleKernel(benchmark::State& state) {
+  static const Graph* schemes[] = {nullptr, nullptr, nullptr, nullptr};
+  static const char* names[] = {"wc_pa", "const_lo_er", "const_hi_er",
+                                "trivalency_pa"};
+  const size_t scheme = static_cast<size_t>(state.range(0));
+  if (schemes[scheme] == nullptr) {
+    Graph* g = new Graph();
+    switch (scheme) {
+      case 0:
+        *g = BenchGraph();
+        break;
+      case 1:
+        *g = GenerateErdosRenyi(20000, 120000, 99);
+        g->ApplyConstantProbability(0.01);
+        break;
+      case 2:
+        *g = GenerateErdosRenyi(20000, 120000, 99);
+        g->ApplyConstantProbability(0.15);
+        break;
+      default:
+        *g = GeneratePreferentialAttachment(20000, 6, false, 99);
+        g->ApplyTrivalency({0.1, 0.01, 0.001}, 13);
+        break;
+    }
+    schemes[scheme] = g;
+  }
+  const Graph& g = *schemes[scheme];
+  RrOptions opt;
+  opt.kernel =
+      state.range(1) == 0 ? SamplingKernel::kScan : SamplingKernel::kSkip;
+  // Each iteration builds its plan from scratch (an O(V+E) one-time cost
+  // real runs amortize over the whole pool); the targets are big enough
+  // that per-set sampling dominates it.
+  const size_t target = scheme == 3 ? 30000 : 100000;
+  for (auto _ : state) {
+    RrCollection pool(g, 7, 4, opt);
+    pool.GenerateUntil(target);
+    benchmark::DoNotOptimize(pool.TotalNodes());
+  }
+  state.SetLabel(std::string(names[scheme]) + "/" +
+                 SamplingKernelName(opt.kernel));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(target));
+}
+BENCHMARK(BM_SampleKernel)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GraphGeneration(benchmark::State& state) {
   for (auto _ : state) {
     Graph g = GeneratePreferentialAttachment(

@@ -83,6 +83,10 @@ constexpr const char* kUsage =
     "  --seed S           solver RNG seed           (default 1)\n"
     "  --workers N        threads, 0 = hardware     (default 0)\n"
     "  --model M          ic | lt                   (default ic)\n"
+    "  --sampling-kernel K  auto | scan | skip RR sampling kernel\n"
+    "                     (default auto = geometric skip-sampling;\n"
+    "                      kernels are statistically equivalent but draw\n"
+    "                      different RNG sequences)\n"
     "  --greedy-sims N    mc-greedy simulations/evaluation (default 200)\n"
     "  --cim-sims N       rr-cim forward simulations       (default 200)\n"
     "  --bdhs-variant V   step | concave            (default step)\n"
@@ -387,6 +391,12 @@ int Run(int argc, char** argv) {
   }
   options.bdhs.kappa = flags.GetDouble("kappa", 0.0);
   options.bdhs.uniform_p = flags.GetDouble("uniform-p", 0.01);
+  const std::string kernel = flags.GetString("sampling-kernel", "auto");
+  if (!ParseSamplingKernel(kernel, &options.rr_options.kernel)) {
+    std::fprintf(stderr, "uic_run: unknown --sampling-kernel '%s'\n",
+                 kernel.c_str());
+    return 1;
+  }
 
   WelfareProblem problem;
   problem.graph = &graph.value();
@@ -420,7 +430,8 @@ int Run(int argc, char** argv) {
   // --- report -----------------------------------------------------------
   std::string setting = "b=";
   for (size_t i = 0; i < budgets.size(); ++i) {
-    setting += (i ? "," : "") + std::to_string(budgets[i]);
+    if (i) setting += ',';
+    setting += std::to_string(budgets[i]);
   }
 
   // --no-timing pins the report for golden end-to-end tests (wall-clock is

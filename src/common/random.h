@@ -91,6 +91,25 @@ class Rng {
   /// Bernoulli trial with success probability `p`.
   bool NextBernoulli(double p) { return NextDouble() < p; }
 
+  /// Number of consecutive failures before the next success of a
+  /// Bernoulli(p) trial sequence — the geometric gap skip-sampling
+  /// kernels jump by (graph/sampling_plan.h). Takes the precomputed
+  /// `log1p(-p)` (must be < 0, i.e. p > 0) and consumes exactly one
+  /// uniform draw:
+  ///   gap = floor(log1p(-U) / log1p(-p)),  U = NextDouble().
+  /// Identity: gap == 0 ⟺ U < p, so one geometric draw makes the same
+  /// accept decision from the same draw as one NextBernoulli(p) trial.
+  /// p >= 1 (log1p_neg_p == -inf) yields gap 0 every time.
+  uint64_t NextGeometric(double log1p_neg_p) {
+    const double g = std::log1p(-NextDouble()) / log1p_neg_p;
+    // Clamp before the cast (double → uint64 is UB at >= 2^64); any value
+    // past 2^62 means "no success within any real adjacency" anyway. The
+    // negated comparison also routes NaN (contract violation: p <= 0)
+    // into the clamp instead of UB.
+    if (!(g < 0x1p62)) return uint64_t{1} << 62;
+    return static_cast<uint64_t>(g);
+  }
+
   /// Uniform double in [lo, hi).
   double NextUniform(double lo, double hi) {
     return lo + (hi - lo) * NextDouble();

@@ -6,13 +6,22 @@
 
 #include "common/random.h"
 #include "graph/graph.h"
+#include "graph/sampling_plan.h"
 
 namespace uic {
 
 /// \brief Reusable IC forward simulator (buffers amortized across runs).
+///
+/// With a forward-direction `SamplingPlan` (kIcBuckets) the simulator
+/// tests out-edges by geometric skip-sampling instead of per-edge trials
+/// — same cascade distribution, different RNG draw sequence (see
+/// graph/sampling_plan.h). With `plan == nullptr` it runs the legacy
+/// per-edge scan. The plan must be built for this graph and outlive the
+/// simulator.
 class IcSimulator {
  public:
-  explicit IcSimulator(const Graph& graph);
+  explicit IcSimulator(const Graph& graph,
+                       const SamplingPlan* plan = nullptr);
 
   /// Run one cascade from `seeds`; returns the number of activated nodes.
   /// If `activated_out` is non-null it receives the activated node list.
@@ -20,7 +29,11 @@ class IcSimulator {
                  std::vector<NodeId>* activated_out = nullptr);
 
  private:
+  void TryActivate(NodeId v, std::vector<NodeId>* activated_out,
+                   size_t* activated);
+
   const Graph& graph_;
+  const SamplingPlan* plan_;
   std::vector<uint32_t> visited_epoch_;
   uint32_t epoch_ = 0;
   std::vector<NodeId> frontier_;
@@ -31,9 +44,13 @@ class IcSimulator {
 ///
 /// Runs `num_simulations` cascades on the fixed stream grid (independent
 /// deterministic RNG streams derived from `seed`); the result depends on
-/// `seed` alone, `workers` only bounds concurrency.
+/// (`seed`, `kernel`) alone, `workers` only bounds concurrency. The
+/// default kernel resolves to skip-sampling (one shared forward plan
+/// across all streams); pass SamplingKernel::kScan for the legacy
+/// per-edge draw sequence.
 double EstimateSpread(const Graph& graph, const std::vector<NodeId>& seeds,
                       size_t num_simulations, uint64_t seed,
-                      unsigned workers = 0);
+                      unsigned workers = 0,
+                      SamplingKernel kernel = SamplingKernel::kAuto);
 
 }  // namespace uic

@@ -173,10 +173,13 @@ WelfareEstimate EstimateWelfareLt(const Graph& graph,
                        UicLtSimulator sim(graph);
                        Rng rng = Rng::Split(seed, s);
                        Accum acc;
+                       // Per-simulation noise buffer and table reused
+                       // (same RNG sequence and values as fresh builds).
+                       std::vector<double> noise;
+                       UtilityTable table(params);
                        for (size_t i = begin; i < end; ++i) {
-                         const std::vector<double> noise =
-                             params.noise().Sample(rng);
-                         const UtilityTable table(params, noise);
+                         params.noise().Sample(rng, &noise);
+                         table.Rebuild(params, noise);
                          const UicOutcome out = sim.Run(allocation, table, rng);
                          acc.sum += out.welfare;
                          acc.sum_sq += out.welfare * out.welfare;

@@ -113,10 +113,15 @@ WelfareEstimate EstimateWelfare(const Graph& graph,
                        UicSimulator sim(graph);
                        Rng rng = Rng::Split(seed, s);
                        Accum acc;
+                       // Noise buffer and table hoisted out of the loop:
+                       // per simulation only the draws and the in-place
+                       // rebuild remain (identical values and RNG
+                       // sequence to fresh construction).
+                       std::vector<double> noise;
+                       UtilityTable table(params);
                        for (size_t i = begin; i < end; ++i) {
-                         const std::vector<double> noise =
-                             params.noise().Sample(rng);
-                         const UtilityTable table(params, noise);
+                         params.noise().Sample(rng, &noise);
+                         table.Rebuild(params, noise);
                          const UicOutcome out = sim.Run(allocation, table, rng);
                          acc.sum += out.welfare;
                          acc.sum_sq += out.welfare * out.welfare;

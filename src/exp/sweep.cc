@@ -13,7 +13,8 @@ namespace {
 std::string BudgetLabel(const std::vector<uint32_t>& budgets) {
   std::string label = "b=";
   for (size_t i = 0; i < budgets.size(); ++i) {
-    label += (i ? "," : "") + std::to_string(budgets[i]);
+    if (i) label += ',';
+    label += std::to_string(budgets[i]);
   }
   return label;
 }
@@ -231,7 +232,8 @@ std::string SweepReport::ToCsv(bool include_timing) const {
   for (const SweepRow& row : rows) {
     std::string budgets;
     for (size_t i = 0; i < row.budgets.size(); ++i) {
-      budgets += (i ? "|" : "") + std::to_string(row.budgets[i]);
+      if (i) budgets += '|';
+      budgets += std::to_string(row.budgets[i]);
     }
     csv += row.algorithm + "," + budgets + "," + FormatDouble(row.welfare) +
            "," + FormatDouble(row.welfare_std_error) + "," +
@@ -253,7 +255,8 @@ std::string SweepReport::ToJson(bool include_timing) const {
     const SweepRow& row = rows[r];
     json += "    {\"algorithm\": \"" + row.algorithm + "\", \"budgets\": [";
     for (size_t i = 0; i < row.budgets.size(); ++i) {
-      json += (i ? "," : "") + std::to_string(row.budgets[i]);
+      if (i) json += ',';
+      json += std::to_string(row.budgets[i]);
     }
     json += "], \"welfare\": " + FormatDouble(row.welfare);
     json += ", \"welfare_std_error\": " + FormatDouble(row.welfare_std_error);

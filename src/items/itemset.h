@@ -77,8 +77,9 @@ inline std::string ItemSetToString(ItemSet set) {
   std::string out = "{";
   bool first = true;
   ForEachItem(set, [&](ItemId i) {
-    if (!first) out += ",";
-    out += "i" + std::to_string(i);
+    if (!first) out += ',';
+    out += 'i';
+    out += std::to_string(i);
     first = false;
   });
   return out + "}";

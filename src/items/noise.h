@@ -81,9 +81,17 @@ class NoiseModel {
 
   /// Draw one noise world (one value per item).
   std::vector<double> Sample(Rng& rng) const {
-    std::vector<double> w(items_.size());
-    for (size_t i = 0; i < items_.size(); ++i) w[i] = items_[i].Sample(rng);
+    std::vector<double> w;
+    Sample(rng, &w);
     return w;
+  }
+
+  /// Draw one noise world into `out` (resized; same draw sequence as the
+  /// returning overload). Monte-Carlo estimator loops use this to reuse
+  /// one buffer across simulations instead of allocating per draw.
+  void Sample(Rng& rng, std::vector<double>* out) const {
+    out->resize(items_.size());
+    for (size_t i = 0; i < items_.size(); ++i) (*out)[i] = items_[i].Sample(rng);
   }
 
  private:

@@ -7,19 +7,25 @@ namespace uic {
 UtilityTable::UtilityTable(const ItemParams& params,
                            const std::vector<double>& noise)
     : num_items_(params.num_items()) {
+  Rebuild(params, noise);
+}
+
+void UtilityTable::Rebuild(const ItemParams& params,
+                           const std::vector<double>& noise) {
+  UIC_CHECK_EQ(params.num_items(), num_items_);
   UIC_CHECK_EQ(noise.size(), num_items_);
   const size_t n = size_t{1} << num_items_;
   util_.resize(n);
   // Noise is additive by model definition; accumulate it with a subset DP
   // (value for mask m = value for m-without-lowest-bit + that bit's term).
   // Price goes through the generic PriceFunction (additive by default).
-  std::vector<double> additive_noise(n, 0.0);
+  noise_scratch_.assign(n, 0.0);
   for (ItemSet m = 1; m < n; ++m) {
     const ItemId low = LowestItem(m);
-    additive_noise[m] = additive_noise[m & (m - 1)] + noise[low];
+    noise_scratch_[m] = noise_scratch_[m & (m - 1)] + noise[low];
   }
   for (ItemSet m = 0; m < n; ++m) {
-    util_[m] = params.value().Value(m) - params.Price(m) + additive_noise[m];
+    util_[m] = params.value().Value(m) - params.Price(m) + noise_scratch_[m];
   }
   UIC_CHECK(util_[0] == 0.0);  // V(∅)=0, P(∅)=0, N(∅)=0.
 }

@@ -22,6 +22,13 @@ class UtilityTable {
   explicit UtilityTable(const ItemParams& params)
       : UtilityTable(params, std::vector<double>(params.num_items(), 0.0)) {}
 
+  /// Recompute the table in place for a new noise world — identical
+  /// values to constructing `UtilityTable(params, noise)` afresh, but the
+  /// 2^k buffers are reused, so Monte-Carlo estimators can rebuild per
+  /// simulation without allocating. `params` must have the same number of
+  /// items the table was built with.
+  void Rebuild(const ItemParams& params, const std::vector<double>& noise);
+
   ItemId num_items() const { return num_items_; }
 
   double Utility(ItemSet set) const { return util_[set]; }
@@ -45,6 +52,7 @@ class UtilityTable {
  private:
   ItemId num_items_;
   std::vector<double> util_;
+  std::vector<double> noise_scratch_;  ///< subset-DP buffer reused by Rebuild
 };
 
 }  // namespace uic

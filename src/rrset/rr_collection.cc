@@ -21,75 +21,161 @@ inline size_t QuotBegin(size_t g0, unsigned s) {
 RrSampler::RrSampler(const Graph& graph, RrOptions options)
     : graph_(graph),
       options_(options),
-      visited_epoch_(graph.num_nodes(), 0) {}
+      visited_epoch_(graph.num_nodes(), 0) {
+  if (ResolveSamplingKernel(options_.kernel) == SamplingKernel::kSkip) {
+    const uint32_t features = options_.linear_threshold
+                                  ? SamplingPlan::kLtAlias
+                                  : SamplingPlan::kIcBuckets;
+    if (options_.sampling_plan == nullptr) {
+      owned_plan_ = SamplingPlan::Build(
+          graph, SamplingPlan::Direction::kReverse, features);
+      options_.sampling_plan = owned_plan_.get();
+    }
+    plan_ = options_.sampling_plan;
+    UIC_CHECK(plan_->direction() == SamplingPlan::Direction::kReverse);
+    UIC_CHECK(options_.linear_threshold ? plan_->has_lt_alias()
+                                        : plan_->has_ic_buckets());
+  }
+}
 
 size_t RrSampler::SampleInto(Rng& rng, std::vector<NodeId>* out) {
-  const NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
-  return SampleRootedInto(root, rng, out);
+  out->clear();
+  return SampleAppend(rng, out);
 }
 
 size_t RrSampler::SampleRootedInto(NodeId root, Rng& rng,
                                    std::vector<NodeId>* out) {
   out->clear();
-  ++epoch_;
+  return SampleRootedAppend(root, rng, out);
+}
+
+size_t RrSampler::SampleAppend(Rng& rng, std::vector<NodeId>* arena) {
+  const NodeId root = static_cast<NodeId>(rng.NextBounded(graph_.num_nodes()));
+  return SampleRootedAppend(root, rng, arena);
+}
+
+bool RrSampler::TryVisit(NodeId u, Rng& rng, std::vector<NodeId>* arena) {
+  if (visited_epoch_[u] == epoch_) return false;
+  if (options_.node_pass_prob != nullptr &&
+      !rng.NextBernoulli((*options_.node_pass_prob)[u])) {
+    // Node rejected: mark visited so it is not retried through another
+    // edge (its adoption coin is flipped once), and do not traverse.
+    visited_epoch_[u] = epoch_;
+    return false;
+  }
+  visited_epoch_[u] = epoch_;
+  arena->push_back(u);
+  return true;
+}
+
+void RrSampler::ExpandScan(NodeId w, Rng& rng, std::vector<NodeId>* arena) {
+  auto srcs = graph_.InNeighbors(w);
+  auto probs = graph_.InProbs(w);
+  for (size_t k = 0; k < srcs.size(); ++k) {
+    const NodeId u = srcs[k];
+    if (visited_epoch_[u] == epoch_) continue;
+    if (!rng.NextBernoulli(probs[k])) continue;
+    if (TryVisit(u, rng, arena)) queue_.push_back(u);
+  }
+}
+
+void RrSampler::ExpandSkip(NodeId w, Rng& rng, std::vector<NodeId>* arena) {
+  // Geometric skip: within a bucket every edge shares probability p, so
+  // the index gap to the next live edge is geometric — one draw per live
+  // edge (plus at most one closing draw per bucket; none is spent once
+  // the last edge has been reached, which keeps size-1 buckets on the
+  // exact Bernoulli draw sequence). Unlike the scan kernel this also
+  // "flips" coins for edges into already-visited nodes; those coins never
+  // affect the sampled set, so the set distribution is identical (only
+  // the draw sequence differs).
+  for (const SamplingPlan::Bucket& b : plan_->Buckets(w)) {
+    size_t i = rng.NextGeometric(b.log1p_neg_p);
+    while (i < b.size) {
+      if (TryVisit(b.nodes[i], rng, arena)) queue_.push_back(b.nodes[i]);
+      if (i + 1 >= b.size) break;  // no edges left: skip the closing draw
+      i += 1 + rng.NextGeometric(b.log1p_neg_p);
+    }
+  }
+}
+
+size_t RrSampler::LtWalkScan(NodeId root, Rng& rng,
+                             std::vector<NodeId>* arena) {
+  // LT live-edge: reverse random walk — each node contributes at most
+  // one in-edge, selected with probability proportional to its weight.
   size_t edges = 0;
+  NodeId w = root;
+  while (true) {
+    auto srcs = graph_.InNeighbors(w);
+    auto probs = graph_.InProbs(w);
+    edges += srcs.size();
+    NodeId src = ~NodeId{0};
+    double r = rng.NextDouble();
+    for (size_t k = 0; k < srcs.size(); ++k) {
+      if (r < probs[k]) {
+        src = srcs[k];
+        break;
+      }
+      r -= probs[k];
+    }
+    if (src == ~NodeId{0} || visited_epoch_[src] == epoch_) break;
+    if (options_.node_pass_prob != nullptr &&
+        !rng.NextBernoulli((*options_.node_pass_prob)[src])) {
+      break;
+    }
+    visited_epoch_[src] = epoch_;
+    arena->push_back(src);
+    w = src;
+  }
+  return edges;
+}
+
+size_t RrSampler::LtWalkAlias(NodeId root, Rng& rng,
+                              std::vector<NodeId>* arena) {
+  // Same walk, O(1) per step via the plan's alias tables.
+  size_t edges = 0;
+  NodeId w = root;
+  while (true) {
+    edges += graph_.InDegree(w);
+    const NodeId src = plan_->SampleLtSource(w, rng);
+    if (src == SamplingPlan::kNoSource || visited_epoch_[src] == epoch_) break;
+    if (options_.node_pass_prob != nullptr &&
+        !rng.NextBernoulli((*options_.node_pass_prob)[src])) {
+      break;
+    }
+    visited_epoch_[src] = epoch_;
+    arena->push_back(src);
+    w = src;
+  }
+  return edges;
+}
+
+size_t RrSampler::SampleRootedAppend(NodeId root, Rng& rng,
+                                     std::vector<NodeId>* arena) {
+  ++epoch_;
   if (options_.node_pass_prob != nullptr) {
     if (!rng.NextBernoulli((*options_.node_pass_prob)[root])) {
-      return edges;  // root rejected: empty RR set
+      return 0;  // root rejected: empty RR set
     }
   }
   visited_epoch_[root] = epoch_;
-  out->push_back(root);
+  arena->push_back(root);
   if (options_.linear_threshold) {
-    // LT live-edge: reverse random walk — each node contributes at most
-    // one in-edge, selected with probability proportional to its weight.
-    NodeId w = root;
-    while (true) {
-      auto srcs = graph_.InNeighbors(w);
-      auto probs = graph_.InProbs(w);
-      edges += srcs.size();
-      NodeId src = ~NodeId{0};
-      double r = rng.NextDouble();
-      for (size_t k = 0; k < srcs.size(); ++k) {
-        if (r < probs[k]) {
-          src = srcs[k];
-          break;
-        }
-        r -= probs[k];
-      }
-      if (src == ~NodeId{0} || visited_epoch_[src] == epoch_) break;
-      if (options_.node_pass_prob != nullptr &&
-          !rng.NextBernoulli((*options_.node_pass_prob)[src])) {
-        break;
-      }
-      visited_epoch_[src] = epoch_;
-      out->push_back(src);
-      w = src;
-    }
-    return edges;
+    return plan_ != nullptr ? LtWalkAlias(root, rng, arena)
+                            : LtWalkScan(root, rng, arena);
   }
   queue_.clear();
   queue_.push_back(root);
   size_t head = 0;
+  size_t edges = 0;
   while (head < queue_.size()) {
     const NodeId w = queue_[head++];
-    auto srcs = graph_.InNeighbors(w);
-    auto probs = graph_.InProbs(w);
-    edges += srcs.size();
-    for (size_t k = 0; k < srcs.size(); ++k) {
-      const NodeId u = srcs[k];
-      if (visited_epoch_[u] == epoch_) continue;
-      if (!rng.NextBernoulli(probs[k])) continue;
-      if (options_.node_pass_prob != nullptr &&
-          !rng.NextBernoulli((*options_.node_pass_prob)[u])) {
-        // Node rejected: mark visited so it is not retried through another
-        // edge (its adoption coin is flipped once), and do not traverse.
-        visited_epoch_[u] = epoch_;
-        continue;
-      }
-      visited_epoch_[u] = epoch_;
-      out->push_back(u);
-      queue_.push_back(u);
+    // EPT accounting counts every in-edge of a visited node as examined,
+    // including edges the skip kernel jumps over (rr_collection.h).
+    edges += graph_.InDegree(w);
+    if (plan_ != nullptr && !plan_->IsGeneral(w)) {
+      ExpandSkip(w, rng, arena);
+    } else {
+      ExpandScan(w, rng, arena);
     }
   }
   return edges;
@@ -144,10 +230,25 @@ void RrCollection::GenerateUntil(size_t target) {
   if (cache_ != nullptr) {
     GenerateFromCache(first, target);
   } else {
+    EnsurePlan();
     GenerateFresh(first, target);
   }
   UIC_CHECK_GE(size(), target);
   ExtendIndex(first);
+}
+
+void RrCollection::EnsurePlan() {
+  if (ResolveSamplingKernel(options_.kernel) != SamplingKernel::kSkip ||
+      options_.sampling_plan != nullptr) {
+    return;
+  }
+  if (plan_ == nullptr) {
+    plan_ = SamplingPlan::Build(graph_, SamplingPlan::Direction::kReverse,
+                                options_.linear_threshold
+                                    ? SamplingPlan::kLtAlias
+                                    : SamplingPlan::kIcBuckets);
+  }
+  options_.sampling_plan = plan_.get();
 }
 
 void RrCollection::GenerateFresh(size_t first, size_t target) {
@@ -170,11 +271,11 @@ void RrCollection::GenerateFresh(size_t first, size_t target) {
           if (q1 <= q0) continue;
           RrSampler sampler(graph_, options_);
           StreamOut& out = outs[s];
-          std::vector<NodeId> buf;
           for (size_t q = q0; q < q1; ++q) {
-            out.edges += sampler.SampleInto(streams_[s], &buf);
-            out.sizes.push_back(static_cast<uint32_t>(buf.size()));
-            out.nodes.insert(out.nodes.end(), buf.begin(), buf.end());
+            const size_t before = out.nodes.size();
+            out.edges += sampler.SampleAppend(streams_[s], &out.nodes);
+            out.sizes.push_back(static_cast<uint32_t>(out.nodes.size() -
+                                                      before));
           }
         }
       });

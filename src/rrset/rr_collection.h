@@ -27,11 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/random.h"
 #include "graph/graph.h"
+#include "graph/sampling_plan.h"
 
 namespace uic {
 
@@ -65,6 +67,25 @@ struct RrOptions {
   /// sampling semantics, so it is ignored by the cache's own entry
   /// keying. The cache must outlive the collection.
   RrStreamCache* stream_cache = nullptr;
+
+  /// Sampling kernel (graph/sampling_plan.h). kScan is the legacy
+  /// per-edge-trial kernel; kSkip draws geometric gaps over the graph's
+  /// probability-stratified plan (falling back to per-edge scanning for
+  /// nodes the plan classifies kGeneral); kAuto — the default — resolves
+  /// to kSkip. The kernels draw DIFFERENT RNG sequences, so the kernel is
+  /// part of the pool's identity: every determinism guarantee (pure
+  /// function of (graph, options, seed), worker/schedule invariance,
+  /// warm==cold) holds per kernel, and the resolved kernel joins the
+  /// stream cache's entry key.
+  SamplingKernel kernel = SamplingKernel::kAuto;
+
+  /// Optional pre-built reverse-direction sampling plan for the graph.
+  /// Borrowed, not owned, and non-semantic like `stream_cache`: a plan is
+  /// a pure function of the graph, so sharing one only moves the one-time
+  /// build cost — never the sampled pool. nullptr = consumers build and
+  /// cache their own when the resolved kernel needs one (RrCollection per
+  /// cold collection, RrStreamCache per bound graph).
+  const SamplingPlan* sampling_plan = nullptr;
 };
 
 /// \brief A pool of RR sets with deterministic parallel growth and an
@@ -165,6 +186,12 @@ class RrCollection {
 
   void SeedStreams(uint64_t seed);
 
+  /// Make `options_.sampling_plan` usable before cold generation fans
+  /// out: when the resolved kernel needs a plan and none was supplied,
+  /// build one (once) and keep it for the collection's lifetime, so the
+  /// per-stream samplers share it instead of each building their own.
+  void EnsurePlan();
+
   /// Cold growth: draw this round's per-stream slices from the
   /// collection-owned RNG streams into fresh arenas.
   void GenerateFresh(size_t first, size_t target);
@@ -196,6 +223,10 @@ class RrCollection {
   RrStreamCache* cache_ = nullptr;       ///< nullptr = cold
   void* cache_entry_ = nullptr;          ///< RrStreamCache::Entry*, lazily bound
 
+  /// Lazily built by EnsurePlan when the kernel needs one and the caller
+  /// did not supply `options_.sampling_plan`.
+  std::shared_ptr<const SamplingPlan> plan_;
+
   std::vector<std::vector<NodeId>> arenas_;  ///< moved-in stream buffers
   std::vector<SetRef> sets_;
   size_t total_nodes_ = 0;
@@ -206,20 +237,49 @@ class RrCollection {
 };
 
 /// \brief Single-threaded RR sampler (exposed for tests and custom loops).
+///
+/// If the resolved kernel is kSkip and no plan was supplied in the
+/// options, the sampler builds its own (with exactly the features the
+/// options need) — convenient standalone, but per-stream loops should
+/// share one plan via `RrOptions::sampling_plan`.
 class RrSampler {
  public:
   explicit RrSampler(const Graph& graph, RrOptions options = {});
 
-  /// Sample one RR set rooted at a uniformly random node into `out`.
-  /// Returns the number of in-edges examined.
+  /// Sample one RR set rooted at a uniformly random node into `out`
+  /// (cleared first). Returns the number of in-edges examined — which, by
+  /// the EPT cost-model convention, counts edges the skip kernel jumped
+  /// over as examined too (always Σ deg over visited nodes, kernel
+  /// independent).
   size_t SampleInto(Rng& rng, std::vector<NodeId>* out);
 
-  /// Sample one RR set with the given root.
+  /// Sample one RR set with the given root (into a cleared `out`).
   size_t SampleRootedInto(NodeId root, Rng& rng, std::vector<NodeId>* out);
 
+  /// Arena mode: as SampleInto/SampleRootedInto, but APPENDS the set's
+  /// nodes to `arena` without clearing it — the sampled set is the
+  /// appended suffix. This is how generation writes nodes straight into
+  /// their final per-stream buffer. Draw sequence identical to the
+  /// clearing variants.
+  size_t SampleAppend(Rng& rng, std::vector<NodeId>* arena);
+  size_t SampleRootedAppend(NodeId root, Rng& rng, std::vector<NodeId>* arena);
+
  private:
+  /// Skip-kernel IC expansion of one dequeued node's in-adjacency.
+  void ExpandSkip(NodeId w, Rng& rng, std::vector<NodeId>* arena);
+  /// Scan-kernel (and kGeneral fallback) expansion.
+  void ExpandScan(NodeId w, Rng& rng, std::vector<NodeId>* arena);
+  /// Visited/pass-prob bookkeeping shared by both kernels; returns true
+  /// if `u` joined the set (and the BFS queue).
+  bool TryVisit(NodeId u, Rng& rng, std::vector<NodeId>* arena);
+
+  size_t LtWalkScan(NodeId root, Rng& rng, std::vector<NodeId>* arena);
+  size_t LtWalkAlias(NodeId root, Rng& rng, std::vector<NodeId>* arena);
+
   const Graph& graph_;
   RrOptions options_;
+  const SamplingPlan* plan_ = nullptr;  ///< set iff resolved kernel is kSkip
+  std::shared_ptr<const SamplingPlan> owned_plan_;
   std::vector<uint32_t> visited_epoch_;
   uint32_t epoch_ = 0;
   std::vector<NodeId> queue_;

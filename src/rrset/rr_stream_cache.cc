@@ -15,6 +15,8 @@ RrStreamCache::Stats RrStreamCache::stats() const {
 
 void RrStreamCache::Clear() {
   entries_.clear();
+  ic_plan_.reset();
+  lt_plan_.reset();
   graph_ = nullptr;
   // The sampled/served counters deliberately persist: they are monotone
   // over the cache's lifetime, so per-point deltas stay meaningful across
@@ -52,9 +54,10 @@ void RrStreamCache::BindGraph(const Graph& graph) {
 RrStreamCache::Entry* RrStreamCache::GetEntry(uint64_t seed,
                                               const RrOptions& options) {
   const bool has_pp = options.node_pass_prob != nullptr;
+  const SamplingKernel kernel = ResolveSamplingKernel(options.kernel);
   for (const auto& e : entries_) {
     if (e->seed != seed || e->linear_threshold != options.linear_threshold ||
-        e->has_pass_prob != has_pp) {
+        e->has_pass_prob != has_pp || e->kernel != kernel) {
       continue;
     }
     // Pass probabilities are keyed by *contents* (callers typically rebuild
@@ -67,7 +70,21 @@ RrStreamCache::Entry* RrStreamCache::GetEntry(uint64_t seed,
   e->seed = seed;
   e->linear_threshold = options.linear_threshold;
   e->has_pass_prob = has_pp;
+  e->kernel = kernel;
   if (has_pp) e->pass_prob = *options.node_pass_prob;
+  if (kernel == SamplingKernel::kSkip) {
+    // One plan per bound graph and feature, shared across entries; built
+    // here (serially) so concurrent EnsureSamples calls only read it.
+    std::shared_ptr<const SamplingPlan>& plan =
+        options.linear_threshold ? lt_plan_ : ic_plan_;
+    if (plan == nullptr) {
+      plan = SamplingPlan::Build(*graph_, SamplingPlan::Direction::kReverse,
+                                 options.linear_threshold
+                                     ? SamplingPlan::kLtAlias
+                                     : SamplingPlan::kIcBuckets);
+    }
+    e->plan = plan;
+  }
   e->streams.resize(kRrStreams);
   for (unsigned s = 0; s < kRrStreams; ++s) {
     // Must match RrCollection::SeedStreams so cached draws replay exactly
@@ -86,6 +103,8 @@ void RrStreamCache::EnsureSamples(Entry* entry, unsigned s, size_t count) {
   RrOptions options;
   options.linear_threshold = entry->linear_threshold;
   if (entry->has_pass_prob) options.node_pass_prob = &entry->pass_prob;
+  options.kernel = entry->kernel;
+  options.sampling_plan = entry->plan.get();
   RrSampler sampler(*graph_, options);
 
   // Draw the whole extension into one arena, then publish the sample refs
@@ -100,11 +119,11 @@ void RrStreamCache::EnsureSamples(Entry* entry, unsigned s, size_t count) {
   std::vector<Meta> metas;
   metas.reserve(need);
   std::vector<NodeId> nodes;
-  std::vector<NodeId> buf;
   for (size_t i = 0; i < need; ++i) {
-    const size_t edges = sampler.SampleInto(stream.rng, &buf);
-    metas.push_back({nodes.size(), static_cast<uint32_t>(buf.size()), edges});
-    nodes.insert(nodes.end(), buf.begin(), buf.end());
+    const size_t before = nodes.size();
+    const size_t edges = sampler.SampleAppend(stream.rng, &nodes);
+    metas.push_back(
+        {before, static_cast<uint32_t>(nodes.size() - before), edges});
   }
   sampled_sets_.fetch_add(need, std::memory_order_relaxed);
   sampled_nodes_.fetch_add(nodes.size(), std::memory_order_relaxed);

@@ -92,13 +92,22 @@ class RrStreamCache {
     std::vector<Sample> samples;
   };
 
-  /// Streams for one (seed, sampling semantics) group.
+  /// Streams for one (seed, sampling semantics) group. The RESOLVED
+  /// kernel is part of the key: the kernels draw different RNG sequences,
+  /// so kScan and kSkip streams for the same seed are distinct sample
+  /// sequences (kAuto and kSkip resolve identically and share an entry).
   struct Entry {
     uint64_t seed = 0;
     bool linear_threshold = false;
     bool has_pass_prob = false;
+    SamplingKernel kernel = SamplingKernel::kSkip;  ///< resolved, never kAuto
     std::vector<float> pass_prob;  ///< copied contents, exact-match keyed
     std::vector<Stream> streams;   ///< kRrStreams
+    /// Cache-owned plan the entry's samplers run on (null for kScan);
+    /// shared across entries and built once per bound graph. Building it
+    /// in GetEntry — serially, before EnsureSamples fans out — is what
+    /// keeps the concurrent stream extensions free of shared mutation.
+    std::shared_ptr<const SamplingPlan> plan;
   };
 
   /// Bind to (or verify against) `graph`; the cache serves one graph.
@@ -113,6 +122,10 @@ class RrStreamCache {
 
   const Graph* graph_ = nullptr;
   std::vector<std::unique_ptr<Entry>> entries_;
+  /// Lazily built skip-kernel plans for the bound graph, shared by every
+  /// entry that needs them (cleared with the entries on Clear()).
+  std::shared_ptr<const SamplingPlan> ic_plan_;
+  std::shared_ptr<const SamplingPlan> lt_plan_;
   // Monotone lifetime counters; sampled_* are only ever touched under the
   // ParallelFor barrier (atomics: distinct streams extend concurrently).
   std::atomic<size_t> sampled_sets_{0};

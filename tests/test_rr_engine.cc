@@ -26,15 +26,30 @@ namespace uic {
 namespace {
 
 // --- golden values pinned from the stream-grid engine ------------------
-constexpr uint64_t kGoldenIcPoolHash = 0xc50df440a80a50c4ULL;
-constexpr uint64_t kGoldenLtPoolHash = 0xc46b2e9a1265f51cULL;
-constexpr uint64_t kGoldenCoverageHash = 0x4b4cce635b7fd6a9ULL;
+//
+// Two kernels, two golden families. The default (auto → skip) kernel draws
+// a different RNG sequence than the scan kernel, so each pins its own
+// goldens; the kScan pins are the pre-skip-kernel values, unchanged since
+// that kernel's draw sequence is untouched.
+constexpr uint64_t kGoldenIcPoolHash = 0xc90d2f7464a213d9ULL;
+constexpr uint64_t kGoldenLtPoolHash = 0x201e1a632f30d058ULL;
+constexpr uint64_t kGoldenCoverageHash = 0xe02d9082d553853cULL;
 const std::vector<NodeId> kGoldenSeeds = {
+    98, 44, 34, 97, 109, 54, 199, 22, 20, 96, 48, 119, 41,
+    62, 134, 82, 197, 46, 47, 179, 189, 30, 18, 32, 40};
+const std::vector<NodeId> kGoldenPrimaSeeds = {89, 168, 52, 187, 104,
+                                               166, 93, 25, 12, 79};
+constexpr size_t kGoldenPrimaRrSets = 2435;
+
+constexpr uint64_t kGoldenScanIcPoolHash = 0xc50df440a80a50c4ULL;
+constexpr uint64_t kGoldenScanLtPoolHash = 0xc46b2e9a1265f51cULL;
+constexpr uint64_t kGoldenScanCoverageHash = 0x4b4cce635b7fd6a9ULL;
+const std::vector<NodeId> kGoldenScanSeeds = {
     98, 44, 62, 43, 113, 65, 61, 18, 14, 94, 10, 179, 109,
     189, 47, 97, 147, 48, 199, 30, 96, 54, 82, 134, 172};
-const std::vector<NodeId> kGoldenPrimaSeeds = {25, 85, 166, 89, 79,
-                                               100, 296, 202, 279, 116};
-constexpr size_t kGoldenPrimaRrSets = 2282;
+const std::vector<NodeId> kGoldenScanPrimaSeeds = {25, 85, 166, 89, 79,
+                                                   100, 296, 202, 279, 116};
+constexpr size_t kGoldenScanPrimaRrSets = 2282;
 
 uint64_t Fnv1a(uint64_t h, uint64_t x) {
   for (int i = 0; i < 8; ++i) {
@@ -193,6 +208,47 @@ TEST(RrEngineGolden, IcPoolMatchesPinnedGoldenAtAnyWorkerCount) {
     EXPECT_EQ(sel.seeds, kGoldenSeeds) << "workers=" << workers;
     EXPECT_EQ(CoverageHash(sel), kGoldenCoverageHash) << "workers=" << workers;
   }
+}
+
+TEST(RrEngineGolden, ScanKernelStillMatchesPreSkipGoldens) {
+  // The scan kernel's draw sequence predates the skip kernels; its goldens
+  // must never move. This is the proof that opting out of skip sampling
+  // reproduces historical pools bit-for-bit.
+  Graph g = GoldenGraph();
+  RrOptions scan;
+  scan.kernel = SamplingKernel::kScan;
+  for (unsigned workers : {1u, 4u, 8u}) {
+    RrCollection pool(g, 42, workers, scan);
+    pool.GenerateUntil(777);
+    pool.GenerateUntil(2000);
+    EXPECT_EQ(PoolHash(pool), kGoldenScanIcPoolHash) << "workers=" << workers;
+    const SeedSelection sel = NodeSelection(pool, 25);
+    EXPECT_EQ(sel.seeds, kGoldenScanSeeds) << "workers=" << workers;
+    EXPECT_EQ(CoverageHash(sel), kGoldenScanCoverageHash)
+        << "workers=" << workers;
+  }
+  RrOptions scan_lt = scan;
+  scan_lt.linear_threshold = true;
+  RrCollection lt_pool(g, 5, 4, scan_lt);
+  lt_pool.GenerateUntil(1500);
+  EXPECT_EQ(PoolHash(lt_pool), kGoldenScanLtPoolHash);
+
+  Graph pg = GenerateErdosRenyi(300, 1800, 3);
+  pg.ApplyWeightedCascade();
+  const ImResult r = Prima(pg, {10, 5, 3}, 0.5, 1.0, 11, 4, {}, scan);
+  EXPECT_EQ(r.seeds, kGoldenScanPrimaSeeds);
+  EXPECT_EQ(r.num_rr_sets, kGoldenScanPrimaRrSets);
+}
+
+TEST(RrEngineGolden, AutoKernelResolvesToSkip) {
+  // kAuto and kSkip are the same resolved kernel (per-node fallback to the
+  // general scan path is the plan's job, not the option's) — same goldens.
+  Graph g = GoldenGraph();
+  RrOptions skip;
+  skip.kernel = SamplingKernel::kSkip;
+  RrCollection pool(g, 42, 4, skip);
+  pool.GenerateUntil(2000);
+  EXPECT_EQ(PoolHash(pool), kGoldenIcPoolHash);
 }
 
 TEST(RrEngineGolden, PoolIsIndependentOfGrowthSchedule) {

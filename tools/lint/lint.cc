@@ -63,6 +63,13 @@ const std::vector<Rule>& RuleTable() {
        "retries, and MSG_NOSIGNAL discipline",
        "go through FdLineChannel/TcpListener/TcpConnection "
        "(src/serve/net.h); socket syscalls live only in src/serve/net.cc"},
+      {"UIC-L009", "per-edge-bernoulli",
+       "a NextBernoulli loop over an adjacency probability array pays one "
+       "RNG draw per edge; the stratified SamplingPlan's geometric skip "
+       "kernel crosses low-probability spans in O(successes) draws",
+       "sample through RrSampler/IcSimulator with a SamplingPlan "
+       "(graph/sampling_plan.h); intentionally-general per-edge scans "
+       "need a whitelist entry"},
   };
   return rules;
 }
@@ -293,6 +300,12 @@ std::vector<Violation> LintSource(const std::string& path,
   const bool is_mutex_wrapper = PathEndsWith(path, "common/mutex.h");
   const bool is_net_layer = PathEndsWith(path, "serve/net.cc") ||
                             PathEndsWith(path, "serve/net.h");
+  // The sampling-plan kernels themselves: their scan fallbacks ARE the
+  // sanctioned per-edge Bernoulli loops (the general-node path and the
+  // scan kernel the skip kernel is validated against).
+  const bool is_sampling_kernel =
+      PathEndsWith(path, "rrset/rr_collection.cc") ||
+      PathEndsWith(path, "diffusion/ic_model.cc");
   // UIC-L007 covers library code only: tests/bench scaffolding may lock a
   // plain std::mutex, the library may not.
   const bool in_library = PathStartsWith(path, "src") ||
@@ -312,6 +325,10 @@ std::vector<Violation> LintSource(const std::string& path,
   // (x.send(, Foo::connect() and identifier suffixes (my_send().
   static const std::regex re_socket_io(
       R"((?:^|[^\w.>:])(?:socket|accept4?|connect|send|sendto|sendmsg|recv|recvfrom|recvmsg)\s*\()");
+  // A Bernoulli draw indexed into an array is the per-edge coin-flip
+  // idiom (scalar NextBernoulli(p) calls are fine).
+  static const std::regex re_edge_bernoulli(
+      R"(\bNextBernoulli\s*\(\s*\w+\s*\[)");
 
   const std::vector<std::string> unordered_vars = UnorderedVarNames(stripped);
   std::vector<std::regex> re_unordered_iter;
@@ -362,6 +379,10 @@ std::vector<Violation> LintSource(const std::string& path,
     if (!is_net_layer && std::regex_search(line, re_socket_io)) {
       Add(&out, path, line_no, "UIC-L008",
           "raw socket syscall outside src/serve/net.cc");
+    }
+    if (!is_sampling_kernel && std::regex_search(line, re_edge_bernoulli)) {
+      Add(&out, path, line_no, "UIC-L009",
+          "per-edge Bernoulli scan outside the sampling-plan kernels");
     }
   }
 

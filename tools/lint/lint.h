@@ -20,6 +20,10 @@
 //                                 to clang -Wthread-safety; use uic::Mutex)
 //   UIC-L008 raw-socket-io        socket/connect/accept/send/recv outside
 //                                 src/serve/net* (the audited transport)
+//   UIC-L009 per-edge-bernoulli   NextBernoulli loops over adjacency
+//                                 probability arrays outside the
+//                                 sampling-plan scan kernels (forfeits
+//                                 geometric skip-sampling)
 //
 // Scanning is token-oriented over comment- and string-stripped source, so
 // a doc comment mentioning `std::thread` is not a violation. Vetted

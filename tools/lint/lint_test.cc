@@ -45,6 +45,7 @@ TEST(UicLint, EachRuleFixtureIsCaughtAtTheDocumentedLine) {
       {"violation_volatile.cc", "UIC-L005", 4},
       {"violation_unordered_iter.cc", "UIC-L006", 8},
       {"violation_socket_io.cc", "UIC-L008", 6},
+      {"violation_edge_bernoulli.cc", "UIC-L009", 10},
   };
   for (const FixtureCase& c : cases) {
     const std::vector<Violation> found = LintFixture(c.file);
@@ -102,6 +103,18 @@ TEST(UicLint, SocketIoRuleIgnoresMemberAndQualifiedNames) {
   EXPECT_TRUE(LintSource("src/a.cc", "box->recv(m);\n").empty());
   EXPECT_EQ(LintSource("src/a.cc", "recv(fd, buf, n, 0);\n").size(), 1u);
   EXPECT_EQ(LintSource("src/a.cc", "x = connect(fd, a, l);\n").size(), 1u);
+}
+
+TEST(UicLint, EdgeBernoulliRuleExemptsOnlyTheSamplingKernels) {
+  const std::string source =
+      ReadFile(TestDataPath() + "/violation_edge_bernoulli.cc");
+  // The scan kernels are the sanctioned per-edge Bernoulli loops...
+  EXPECT_TRUE(LintSource("src/rrset/rr_collection.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/diffusion/ic_model.cc", source).empty());
+  // ...anywhere else the loop must go through a SamplingPlan kernel or
+  // earn a whitelist entry (as uic_model.cc's edge memo does).
+  EXPECT_EQ(LintSource("src/diffusion/uic_model.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("tests/test_models.cc", source).size(), 1u);
 }
 
 TEST(UicLint, CleanFixtureHasNoViolations) {
@@ -195,9 +208,9 @@ TEST(UicLint, WhitelistLoaderParsesEntriesAndComments) {
   EXPECT_EQ(wl.entries[0].path_suffix, "tests/test_thread_pool.cc");
 }
 
-TEST(UicLint, RuleTableHasEightRulesWithHints) {
+TEST(UicLint, RuleTableHasNineRulesWithHints) {
   const std::vector<Rule>& rules = RuleTable();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, "UIC-L00" + std::to_string(i + 1));
     EXPECT_FALSE(rules[i].hint.empty()) << rules[i].id;

@@ -1,0 +1,15 @@
+// Fixture: UIC-L009 — per-edge Bernoulli scan over an adjacency
+// probability array (line 10). The scalar draw on line 15 is fine.
+struct Rng {
+  bool NextBernoulli(double p);
+};
+
+bool AnyEdgeFires(Rng& rng, const double* probs, int deg) {
+  bool fired = false;
+  for (int k = 0; k < deg; ++k) {
+    fired = fired || rng.NextBernoulli(probs[k]);
+  }
+  return fired;
+}
+
+bool CoinFlip(Rng& rng, double p) { return rng.NextBernoulli(p); }
