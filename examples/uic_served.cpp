@@ -41,6 +41,10 @@ constexpr const char* kUsage =
     "  --max-params N      param sessions pinned at once     (default 32)\n"
     "  --warm-entries N    warm RR-pool LRU bound            (default 16)\n"
     "  --no-timing         omit wall-clock response fields (golden mode)\n"
+    "  --testing           enable the set_failpoints verb (fault injection;\n"
+    "                      never in production). The UIC_FAILPOINTS env var\n"
+    "                      (common/failpoint.h grammar) arms failpoints\n"
+    "                      regardless of this flag.\n"
     "\n"
     "SIGINT/SIGTERM drain in-flight requests and exit 0.\n";
 
@@ -87,6 +91,7 @@ int Run(int argc, char** argv) {
   }
   options.concurrency = static_cast<unsigned>(concurrency);
   options.include_timing = !flags.GetBool("no-timing");
+  options.testing = flags.GetBool("testing");
 
   // No SA_RESTART: a signal must interrupt blocked reads so the drain
   // starts immediately (the channel layer retries EINTR everywhere it is

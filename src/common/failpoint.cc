@@ -1,0 +1,295 @@
+#include "common/failpoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "common/mutex.h"
+
+namespace uic {
+namespace failpoint {
+
+namespace internal {
+std::atomic<uint64_t> g_armed{0};
+}  // namespace internal
+
+namespace {
+
+enum class Trigger { kAlways, kOnce, kEvery };
+
+/// One armed site: the parsed policy plus its evaluation counter. The
+/// counter is the only state a trigger consults — determinism lives here.
+struct SitePolicy {
+  Action action = Action::kOff;
+  int error_errno = 0;
+  uint64_t arg = 0;
+  Trigger trigger = Trigger::kAlways;
+  uint64_t every_k = 1;
+  uint64_t evals = 0;  ///< evaluations since Set (the seeded counter)
+  std::string spec;    ///< the policy string as given, for List()
+};
+
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  Status Set(const std::string& name, const SitePolicy& policy, bool off) {
+    if (name.empty()) return Status::InvalidArgument("empty failpoint name");
+    MutexLock lock(mu_);
+    auto it = sites_.find(name);
+    if (off) {
+      if (it != sites_.end()) {
+        sites_.erase(it);
+        internal::g_armed.fetch_sub(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+    if (it == sites_.end()) {
+      sites_.emplace(name, policy);
+      internal::g_armed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      it->second = policy;  // re-set: fresh policy, counter back to zero
+    }
+    return Status::OK();
+  }
+
+  Hit Evaluate(const char* name) {
+    MutexLock lock(mu_);
+    auto it = sites_.find(name);
+    if (it == sites_.end()) return Hit{};
+    SitePolicy& site = it->second;
+    ++site.evals;
+    switch (site.trigger) {
+      case Trigger::kAlways:
+        break;
+      case Trigger::kOnce:
+        if (site.evals != 1) return Hit{};
+        break;
+      case Trigger::kEvery:
+        if (site.evals % site.every_k != 0) return Hit{};
+        break;
+    }
+    Hit hit;
+    hit.action = site.action;
+    hit.error_errno = site.error_errno;
+    hit.arg = site.arg;
+    return hit;
+  }
+
+  void ClearAll() {
+    MutexLock lock(mu_);
+    internal::g_armed.fetch_sub(sites_.size(), std::memory_order_relaxed);
+    sites_.clear();
+  }
+
+  std::vector<std::pair<std::string, std::string>> List() {
+    MutexLock lock(mu_);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(sites_.size());
+    for (const auto& entry : sites_) {
+      out.emplace_back(entry.first, entry.second.spec);
+    }
+    return out;  // std::map iteration: already name-sorted
+  }
+
+ private:
+  Registry() = default;
+
+  Mutex mu_;
+  std::map<std::string, SitePolicy> sites_ UIC_GUARDED_BY(mu_);
+};
+
+/// Symbolic errno names accepted inside error(...); decimal also works.
+int ErrnoByName(const std::string& name) {
+  static const std::map<std::string, int>* const kNames =
+      new std::map<std::string, int>{
+          {"EPERM", EPERM},           {"ENOENT", ENOENT},
+          {"EINTR", EINTR},           {"EIO", EIO},
+          {"EBADF", EBADF},           {"EAGAIN", EAGAIN},
+          {"EWOULDBLOCK", EWOULDBLOCK}, {"ENOMEM", ENOMEM},
+          {"EACCES", EACCES},         {"EFAULT", EFAULT},
+          {"EINVAL", EINVAL},         {"EMFILE", EMFILE},
+          {"ENFILE", ENFILE},         {"ENOBUFS", ENOBUFS},
+          {"ENOSPC", ENOSPC},         {"EPIPE", EPIPE},
+          {"ECONNABORTED", ECONNABORTED}, {"ECONNRESET", ECONNRESET},
+          {"ECONNREFUSED", ECONNREFUSED}, {"ETIMEDOUT", ETIMEDOUT},
+      };
+  auto it = kNames->find(name);
+  return it == kNames->end() ? -1 : it->second;
+}
+
+/// Parse `tok` as `word` or `word(arg)`; on the latter, *arg gets the
+/// parenthesized text. Returns false on mismatched parentheses.
+bool SplitCall(const std::string& tok, std::string* word, std::string* arg) {
+  const size_t open = tok.find('(');
+  if (open == std::string::npos) {
+    if (tok.find(')') != std::string::npos) return false;
+    *word = tok;
+    arg->clear();
+    return true;
+  }
+  if (tok.empty() || tok.back() != ')') return false;
+  *word = tok.substr(0, open);
+  *arg = tok.substr(open + 1, tok.size() - open - 2);
+  return !word->empty();
+}
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+Status ParsePolicy(const std::string& policy, SitePolicy* out, bool* off) {
+  *off = false;
+  out->spec = policy;
+  // Split "action[:trigger]".
+  const size_t colon = policy.find(':');
+  const std::string action_tok = policy.substr(0, colon);
+  const std::string trigger_tok =
+      colon == std::string::npos ? "" : policy.substr(colon + 1);
+
+  std::string word, arg;
+  if (!SplitCall(action_tok, &word, &arg)) {
+    return Status::InvalidArgument("malformed failpoint action: '" +
+                                   action_tok + "'");
+  }
+  if (word == "off") {
+    if (!arg.empty() || !trigger_tok.empty()) {
+      return Status::InvalidArgument("'off' takes no argument or trigger");
+    }
+    *off = true;
+    return Status::OK();
+  } else if (word == "error") {
+    out->action = Action::kError;
+    uint64_t num = 0;
+    if (ParseUint(arg, &num) && num > 0) {
+      out->error_errno = static_cast<int>(num);
+    } else {
+      const int e = ErrnoByName(arg);
+      if (e < 0) {
+        return Status::InvalidArgument("unknown errno '" + arg +
+                                       "' in failpoint policy");
+      }
+      out->error_errno = e;
+    }
+  } else if (word == "short_io") {
+    uint64_t num = 0;
+    if (!ParseUint(arg, &num) || num == 0) {
+      return Status::InvalidArgument("short_io needs a positive byte count");
+    }
+    out->action = Action::kShortIo;
+    out->arg = num;
+  } else if (word == "delay_ms") {
+    uint64_t num = 0;
+    if (!ParseUint(arg, &num)) {
+      return Status::InvalidArgument("delay_ms needs a millisecond count");
+    }
+    out->action = Action::kDelayMs;
+    out->arg = num;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + word + "'");
+  }
+
+  if (trigger_tok.empty()) {
+    out->trigger = Trigger::kAlways;
+    return Status::OK();
+  }
+  if (!SplitCall(trigger_tok, &word, &arg)) {
+    return Status::InvalidArgument("malformed failpoint trigger: '" +
+                                   trigger_tok + "'");
+  }
+  if (word == "once") {
+    if (!arg.empty()) return Status::InvalidArgument("'once' takes no argument");
+    out->trigger = Trigger::kOnce;
+  } else if (word == "every") {
+    uint64_t num = 0;
+    if (!ParseUint(arg, &num) || num == 0) {
+      return Status::InvalidArgument("every(k) needs a positive k");
+    }
+    out->trigger = Trigger::kEvery;
+    out->every_k = num;
+  } else {
+    return Status::InvalidArgument("unknown failpoint trigger '" + word + "'");
+  }
+  return Status::OK();
+}
+
+/// Loads UIC_FAILPOINTS before main() so env activation needs no opt-in
+/// from the binary. A malformed spec aborts: silently running a different
+/// fault experiment than the one asked for would be worse than crashing.
+struct EnvActivation {
+  EnvActivation() {
+    const char* spec = std::getenv("UIC_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    const Status status = Configure(spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "UIC_FAILPOINTS: %s\n", status.message().c_str());
+      std::abort();
+    }
+  }
+};
+const EnvActivation g_env_activation;
+
+}  // namespace
+
+namespace internal {
+Hit EvaluateSlow(const char* name) {
+  return Registry::Instance().Evaluate(name);
+}
+}  // namespace internal
+
+Status Set(const std::string& name, const std::string& policy) {
+  SitePolicy parsed;
+  bool off = false;
+  Status status = ParsePolicy(policy, &parsed, &off);
+  if (!status.ok()) return status;
+  return Registry::Instance().Set(name, parsed, off);
+}
+
+Status Configure(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    if (!item.empty()) {
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("expected name=policy, got '" + item +
+                                       "'");
+      }
+      UIC_RETURN_NOT_OK(Set(item.substr(0, eq), item.substr(eq + 1)));
+    }
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+void ClearAll() { Registry::Instance().ClearAll(); }
+
+std::vector<std::pair<std::string, std::string>> List() {
+  return Registry::Instance().List();
+}
+
+void SleepFor(const Hit& hit) {
+  if (hit.action != Action::kDelayMs || hit.arg == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+}
+
+}  // namespace failpoint
+}  // namespace uic

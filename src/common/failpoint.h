@@ -1,0 +1,118 @@
+// Deterministic fault injection (failpoints) for the serve/IO stack.
+//
+// A failpoint is a named site in first-party library code where a test —
+// or an operator chasing a production bug — can inject a failure that the
+// surrounding error handling must absorb: a short read, a failed send, an
+// accept storm, a truncated file, a scheduling delay. Sites are spelled
+//
+//   const failpoint::Hit fp = UIC_FAILPOINT("serve.net.send");
+//   if (fp.action == failpoint::Action::kError) { errno = fp.error_errno; ... }
+//
+// and cost ONE relaxed atomic load when no failpoint is armed (the
+// "zero-overhead-when-off" contract the golden transcripts pin): the
+// registry lookup happens only while at least one policy is active.
+//
+// Activation:
+//   * environment: UIC_FAILPOINTS="serve.net.send=error(EPIPE):once,
+//     core.serialization.load_graph=short_io(64)" — parsed once at
+//     process start; a malformed spec aborts (fail fast, never silently
+//     run a different experiment than the one asked for).
+//   * programmatic: failpoint::Set("name", "policy") /
+//     failpoint::Configure("name=policy,...") / failpoint::ClearAll().
+//   * protocol: the `set_failpoints` serve verb, gated behind the
+//     daemon's --testing flag (serve/server.h).
+//
+// Policy grammar (one action, optionally one trigger):
+//
+//   policy  := action [ ':' trigger ]
+//   action  := 'off' | 'error(' errno ')' | 'short_io(' n ')'
+//            | 'delay_ms(' n ')'
+//   trigger := 'once' | 'every(' k ')'        (default: every evaluation)
+//   errno   := symbolic name (EIO, EPIPE, EAGAIN, ...) or decimal
+//
+// Determinism: whether a site fires is a pure function of its per-site
+// evaluation counter — seeded to zero when the policy is Set and
+// incremented once per evaluation — never of wall clock or any RNG, so a
+// failure schedule replays exactly under the seed-only contract ('once'
+// fires on evaluation 1; 'every(k)' on evaluations k, 2k, ...). The
+// kDelayMs action perturbs timing only, never results.
+//
+// Site roster (grep UIC_FAILPOINT for the authoritative list):
+//   serve.net.poll / recv / send / accept    transport faults (serve/net.cc)
+//   serve.scheduler.admit                    forced shed / queue delay
+//   serve.solve.admitted                     fault or delay an admitted solve
+//   serve.session.add_graph / get_graph      registry faults / unload races
+//   serve.warm.acquire                       widen warm-lease races
+//   core.serialization.load_graph / load_params   truncated or failing files
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uic {
+namespace failpoint {
+
+/// \brief What an armed failpoint injects at its site.
+enum class Action {
+  kOff,      ///< not armed (or trigger did not fire this evaluation)
+  kError,    ///< fail with `error_errno`
+  kShortIo,  ///< cap this I/O operation at `arg` bytes
+  kDelayMs,  ///< sleep `arg` milliseconds (timing only, never results)
+};
+
+/// \brief One evaluation's outcome at a failpoint site.
+struct Hit {
+  Action action = Action::kOff;
+  int error_errno = 0;  ///< kError: the errno to inject
+  uint64_t arg = 0;     ///< kShortIo: byte cap; kDelayMs: milliseconds
+
+  bool fired() const { return action != Action::kOff; }
+};
+
+namespace internal {
+/// Count of armed (non-off) policies; the macro's fast-path gate.
+extern std::atomic<uint64_t> g_armed;
+/// Slow path: registry lookup + trigger bookkeeping. Only called armed.
+Hit EvaluateSlow(const char* name);
+}  // namespace internal
+
+/// True when any failpoint policy is armed (one relaxed load).
+inline bool AnyActive() {
+  return internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluate the site `name`: kOff unless a policy is armed for it AND its
+/// trigger fires on this evaluation.
+inline Hit Evaluate(const char* name) {
+  if (!AnyActive()) return Hit{};
+  return internal::EvaluateSlow(name);
+}
+
+/// Arm `name` with `policy` (grammar above). `"off"` disarms and forgets
+/// the site. Re-setting a site resets its evaluation counter.
+[[nodiscard]] Status Set(const std::string& name, const std::string& policy);
+
+/// Apply a comma-separated `name=policy` list (the UIC_FAILPOINTS format).
+[[nodiscard]] Status Configure(const std::string& spec);
+
+/// Disarm everything (tests call this in SetUp/TearDown).
+void ClearAll();
+
+/// The armed sites as sorted (name, policy-string) pairs.
+std::vector<std::pair<std::string, std::string>> List();
+
+/// Honor a kDelayMs hit (sleep); no-op for every other action.
+void SleepFor(const Hit& hit);
+
+}  // namespace failpoint
+}  // namespace uic
+
+/// The one sanctioned site spelling. Lint rule UIC-L010 keeps sites inside
+/// src/ library code: tests inject through Set/Configure, never by adding
+/// sites of their own.
+#define UIC_FAILPOINT(name) (::uic::failpoint::Evaluate(name))

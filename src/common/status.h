@@ -29,6 +29,7 @@ class [[nodiscard]] Status {
     kOutOfRange,
     kFailedPrecondition,
     kInternal,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +53,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -78,6 +82,7 @@ class [[nodiscard]] Status {
       case Code::kOutOfRange: return "OutOfRange";
       case Code::kFailedPrecondition: return "FailedPrecondition";
       case Code::kInternal: return "Internal";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

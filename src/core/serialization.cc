@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace uic {
 
 Status SaveAllocation(const Allocation& allocation, const std::string& path) {
@@ -99,6 +101,27 @@ void AppendDouble(std::string* out, double v) {
   out->append(buf);
 }
 
+/// Failpoint hook for the loaders. error(...) fails the read outright;
+/// short_io(n) re-points *stream at only the first n bytes of `file`,
+/// simulating a truncated file — which the parsers must then surface as
+/// IOError, never as a silently partial graph or parameter table.
+Status ApplyLoadFailpoint(const char* site, const std::string& path,
+                          std::ifstream& file, std::istringstream* truncated,
+                          std::istream** stream) {
+  const failpoint::Hit fp = UIC_FAILPOINT(site);
+  failpoint::SleepFor(fp);
+  if (fp.action == failpoint::Action::kError) {
+    return Status::IOError("injected fault reading " + path);
+  }
+  if (fp.action == failpoint::Action::kShortIo) {
+    std::ostringstream all;
+    all << file.rdbuf();
+    truncated->str(all.str().substr(0, fp.arg));
+    *stream = truncated;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveGraph(const Graph& graph, const std::string& path) {
@@ -123,8 +146,13 @@ Status SaveGraph(const Graph& graph, const std::string& path) {
 }
 
 Result<Graph> LoadGraph(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::istringstream short_read;
+  std::istream* stream = &file;
+  UIC_RETURN_NOT_OK(ApplyLoadFailpoint("core.serialization.load_graph", path,
+                                       file, &short_read, &stream));
+  std::istream& in = *stream;
   std::string rest;
   if (Status s = ExpectKeyLine(in, "nodes", &rest); !s.ok()) return s;
   // Parse counts as signed so negatives fail validation instead of wrapping
@@ -205,8 +233,13 @@ Status SaveItemParams(const ItemParams& params, const std::string& path) {
 }
 
 Result<ItemParams> LoadItemParams(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::istringstream short_read;
+  std::istream* stream = &file;
+  UIC_RETURN_NOT_OK(ApplyLoadFailpoint("core.serialization.load_params",
+                                       path, file, &short_read, &stream));
+  std::istream& in = *stream;
   std::string rest;
   if (Status s = ExpectKeyLine(in, "items", &rest); !s.ok()) return s;
   unsigned long k;

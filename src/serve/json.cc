@@ -1,6 +1,7 @@
 #include "serve/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -132,6 +133,20 @@ Result<Json> Parser::ParseNumber() {
     while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
   }
   const std::string token = text.substr(start, pos - start);
+  // Integer-form tokens (no '.' or exponent) are ids, seeds, and budgets:
+  // one that cannot fit a long long must fail loudly, not fold to a
+  // nearby %.17g double and silently solve a different request.
+  if (token.find('.') == std::string::npos &&
+      token.find('e') == std::string::npos &&
+      token.find('E') == std::string::npos) {
+    char* int_end = nullptr;
+    errno = 0;
+    (void)std::strtoll(token.c_str(), &int_end, 10);
+    if (int_end != token.c_str() && *int_end == '\0' && errno == ERANGE) {
+      pos = start;
+      return Error("integer literal overflows long long");
+    }
+  }
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
   if (end == token.c_str() || *end != '\0' || !std::isfinite(v)) {
@@ -182,6 +197,11 @@ Result<Json> Parser::ParseObject(int depth) {
     ++pos;
     Result<Json> value = ParseValue(depth + 1);
     if (!value.ok()) return value.status();
+    if (out.Find(key.value().AsString()) != nullptr) {
+      // Last-wins would silently drop whichever copy the client believed
+      // in; a request with two 'seed's gets a bad_request instead.
+      return Error("duplicate object key " + JsonEscape(key.value().AsString()));
+    }
     out.Set(key.value().AsString(), value.MoveValue());
     SkipWhitespace();
     if (AtEnd()) return Error("unterminated object");

@@ -73,7 +73,13 @@ class Json {
     return is_number() ? number_ : def;
   }
   long long AsInt(long long def = 0) const {
-    return is_number() ? static_cast<long long>(number_) : def;
+    // Casting a double outside long long's range is UB; fold such values
+    // (and NaN) to `def` so range-validating callers reject them cleanly.
+    if (!is_number() || !(number_ >= -9223372036854775808.0 &&
+                          number_ < 9223372036854775808.0)) {
+      return def;
+    }
+    return static_cast<long long>(number_);
   }
   const std::string& AsString() const { return string_; }
 

@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace uic {
 namespace serve {
 
@@ -16,9 +18,21 @@ namespace {
 
 constexpr int kPollIntervalMs = 100;
 
-/// poll() for readability, re-arming on EINTR. Returns false when `stop`
-/// fired (or on a poll error), true when `fd` is readable/at EOF.
+/// Transient poll()/accept() failures retried before giving up. Each retry
+/// sleeps one poll interval, so this bounds the stall at ~1s.
+constexpr int kMaxTransientRetries = 10;
+
+/// Sleep one poll interval (a poll with no fds — the project's sanctioned
+/// sleep in the net layer); callers re-check their stop flag on the next
+/// loop iteration.
+void BackoffSleep() { poll(nullptr, 0, kPollIntervalMs); }
+
+/// poll() for readability, re-arming on EINTR and backing off through the
+/// poll interval on transient failures (kernel memory pressure). Returns
+/// false when `stop` fired or poll failed for real, true when `fd` is
+/// readable/at EOF.
 bool WaitReadable(int fd, const std::atomic<bool>* stop) {
+  int transient_failures = 0;
   while (true) {
     if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
       return false;
@@ -27,9 +41,22 @@ bool WaitReadable(int fd, const std::atomic<bool>* stop) {
     pfd.fd = fd;
     pfd.events = POLLIN;
     pfd.revents = 0;
-    const int rc = poll(&pfd, 1, stop != nullptr ? kPollIntervalMs : -1);
+    int rc;
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.net.poll");
+    if (fp.action == failpoint::Action::kError) {
+      rc = -1;
+      errno = fp.error_errno;
+    } else {
+      failpoint::SleepFor(fp);
+      rc = poll(&pfd, 1, stop != nullptr ? kPollIntervalMs : -1);
+    }
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOMEM || errno == EAGAIN) {
+        if (++transient_failures > kMaxTransientRetries) return false;
+        BackoffSleep();
+        continue;
+      }
       return false;
     }
     if (rc > 0) return true;  // readable, HUP, or error — read() resolves
@@ -55,7 +82,19 @@ bool FdLineChannel::ReadLine(std::string* line,
     }
     if (!WaitReadable(read_fd_, stop)) return false;
     char chunk[4096];
-    const ssize_t n = read(read_fd_, chunk, sizeof(chunk));
+    size_t want = sizeof(chunk);
+    ssize_t n;
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.net.recv");
+    if (fp.action == failpoint::Action::kError) {
+      n = -1;
+      errno = fp.error_errno;
+    } else {
+      if (fp.action == failpoint::Action::kShortIo && fp.arg < want) {
+        want = fp.arg;  // short read: the loop must reassemble the line
+      }
+      failpoint::SleepFor(fp);
+      n = read(read_fd_, chunk, want);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -73,12 +112,22 @@ bool FdLineChannel::WriteLine(const std::string& line) {
   framed.push_back('\n');
   size_t off = 0;
   while (off < framed.size()) {
+    size_t want = framed.size() - off;
     ssize_t n;
-    if (socket_fds_) {
-      n = send(write_fd_, framed.data() + off, framed.size() - off,
-               MSG_NOSIGNAL);
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.net.send");
+    if (fp.action == failpoint::Action::kError) {
+      n = -1;
+      errno = fp.error_errno;
     } else {
-      n = write(write_fd_, framed.data() + off, framed.size() - off);
+      if (fp.action == failpoint::Action::kShortIo && fp.arg < want) {
+        want = fp.arg;  // partial write: the loop must finish the frame
+      }
+      failpoint::SleepFor(fp);
+      if (socket_fds_) {
+        n = send(write_fd_, framed.data() + off, want, MSG_NOSIGNAL);
+      } else {
+        n = write(write_fd_, framed.data() + off, want);
+      }
     }
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -160,10 +209,32 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
 Result<TcpConnection> TcpListener::Accept(const std::atomic<bool>& stop) {
   while (true) {
     if (!WaitReadable(fd_, &stop)) return TcpConnection();  // stop fired
-    const int fd = accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    int fd;
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.net.accept");
+    if (fp.action == failpoint::Action::kError) {
+      fd = -1;
+      errno = fp.error_errno;
+    } else {
+      failpoint::SleepFor(fp);
+      fd = accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    }
     if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
-          errno == EWOULDBLOCK) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;  // next client
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Nothing pending after all (a race, or a nonblocking listener):
+        // re-arm through the poll loop after one interval. The old
+        // immediate `continue` could busy-spin at 100% CPU when poll kept
+        // reporting the listener readable.
+        BackoffSleep();
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Accept storm: fd-table or kernel-buffer exhaustion is transient
+        // (connections close, pressure passes). Back off and keep the
+        // listener alive instead of tearing the daemon down; the stop
+        // flag is still observed every interval via WaitReadable.
+        BackoffSleep();
         continue;
       }
       return Status::IOError(std::string("accept: ") + strerror(errno));

@@ -30,6 +30,8 @@ ErrorCode CodeFromStatus(const Status& status) {
       return ErrorCode::kNotFound;
     case Status::Code::kFailedPrecondition:
       return ErrorCode::kFailedPrecondition;
+    case Status::Code::kDeadlineExceeded:
+      return ErrorCode::kDeadlineExceeded;
   }
   return ErrorCode::kInternal;
 }
@@ -70,9 +72,15 @@ std::string OkResponse(const Json& id, const Json& result,
 
 std::string ErrorResponse(const Json& id, ErrorCode code,
                           const std::string& message) {
+  return ErrorResponse(id, code, message, Json());
+}
+
+std::string ErrorResponse(const Json& id, ErrorCode code,
+                          const std::string& message, const Json& partial) {
   Json error = Json::Object();
   error.Set("code", Json::Str(ErrorCodeName(code)));
   error.Set("message", Json::Str(message));
+  if (!partial.is_null()) error.Set("partial", partial);
   Json response = Json::Object();
   response.Set("id", id);
   response.Set("ok", Json::Bool(false));

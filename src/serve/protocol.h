@@ -53,8 +53,11 @@ struct Request {
   Json id;           ///< echoed verbatim; null when the client sent none
   std::string verb;  ///< required, non-empty
   Json body;         ///< the full request object (verb-specific fields)
-  /// Max milliseconds the request may wait for admission before the
-  /// scheduler fails it with kDeadlineExceeded; 0 = wait indefinitely.
+  /// End-to-end budget in milliseconds: the scheduler fails the request
+  /// with kDeadlineExceeded if it is still queued past the deadline, and
+  /// the solve path re-checks at phase boundaries so an admitted request
+  /// that blows its budget mid-solve errors (with partial stats) instead
+  /// of returning a full result late; 0 = no deadline.
   double deadline_ms = 0.0;
 };
 
@@ -72,6 +75,13 @@ std::string OkResponse(const Json& id, const Json& result,
 /// `{"id":...,"ok":false,"error":{"code":...,"message":...}}`.
 std::string ErrorResponse(const Json& id, ErrorCode code,
                           const std::string& message);
+
+/// As above, with an `error.partial` member carrying whatever progress
+/// stats the server had when it gave up (omitted when `partial` is null).
+/// Used by mid-solve deadline_exceeded responses: the client learns how
+/// far the solve got, but gets no result it could mistake for a full one.
+std::string ErrorResponse(const Json& id, ErrorCode code,
+                          const std::string& message, const Json& partial);
 
 }  // namespace serve
 }  // namespace uic

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace uic {
@@ -14,7 +15,16 @@ AdmissionController::AdmissionController(Options options)
 AdmissionController::Decision AdmissionController::Admit(double deadline_ms,
                                                          double* queued_ms) {
   WallTimer timer;
+  // delay_ms(n) widens queue/deadline races without filling the queue;
+  // error(...) forces a shed so the 429 path is testable on an idle
+  // server. Evaluated before the lock: a delay must never hold mu_.
+  const failpoint::Hit fp = UIC_FAILPOINT("serve.scheduler.admit");
+  failpoint::SleepFor(fp);
   MutexLock lock(mu_);
+  if (fp.action == failpoint::Action::kError) {
+    ++shed_;
+    return Decision::kShed;
+  }
   if (draining_) return Decision::kDraining;
   if (waiting_.size() >= options_.queue_capacity) {
     ++shed_;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "diffusion/lt_model.h"
@@ -109,6 +110,9 @@ std::string Server::HandleLine(const std::string& line) {
 }
 
 std::string Server::HandleRequest(const Request& request) {
+  // Started at arrival so deadline_ms bounds the whole request — queueing
+  // AND solving — not just the wait for admission.
+  WallTimer request_timer;
   const Json& id = request.id;
   const std::string& verb = request.verb;
 
@@ -128,6 +132,20 @@ std::string Server::HandleRequest(const Request& request) {
     Json result = Json::Object();
     result.Set("draining", Json::Bool(true));
     return OkResponse(id, result, Json::Null());
+  }
+  if (verb == "set_failpoints") {
+    if (!options_.testing) {
+      counters_.Record(false);
+      return ErrorResponse(id, ErrorCode::kFailedPrecondition,
+                           "set_failpoints requires a --testing daemon");
+    }
+    Result<Json> result = DoSetFailpoints(request.body);
+    counters_.Record(result.ok());
+    if (!result.ok()) {
+      return ErrorResponse(id, CodeFromStatus(result.status()),
+                           result.status().message());
+    }
+    return OkResponse(id, result.value(), Json::Null());
   }
   if (verb == "unload") {
     Result<Json> result = DoUnload(request.body);
@@ -160,12 +178,25 @@ std::string Server::HandleRequest(const Request& request) {
     SlotGuard slot{&admission_};
 
     if (verb == "solve") {
+      // Post-admission site: error(...) exercises the typed internal
+      // error path; delay_ms(n) pins a solve in flight (the SIGTERM-drain
+      // and mid-solve-deadline tests) without touching solver code.
+      const failpoint::Hit fp = UIC_FAILPOINT("serve.solve.admitted");
+      if (fp.action == failpoint::Action::kError) {
+        counters_.Record(false);
+        return ErrorResponse(id, ErrorCode::kInternal,
+                             "injected fault at serve.solve.admitted");
+      }
+      failpoint::SleepFor(fp);
       Json serve_info;
-      Result<Json> result = DoSolve(request.body, queued_ms, &serve_info);
+      Json partial;
+      Result<Json> result =
+          DoSolve(request.body, queued_ms, request.deadline_ms,
+                  request_timer, &serve_info, &partial);
       counters_.Record(result.ok());
       if (!result.ok()) {
         return ErrorResponse(id, CodeFromStatus(result.status()),
-                             result.status().message());
+                             result.status().message(), partial);
       }
       return OkResponse(id, result.value(), serve_info);
     }
@@ -249,8 +280,33 @@ Result<Json> Server::DoUnload(const Json& body) {
   return result;
 }
 
+Result<Json> Server::DoSetFailpoints(const Json& body) {
+  const Json* points = body.Find("failpoints");
+  if (points == nullptr || !points->is_object()) {
+    return Status::InvalidArgument(
+        "set_failpoints needs a 'failpoints' object mapping site names to "
+        "policy strings");
+  }
+  for (const auto& [name, policy] : points->members()) {
+    if (!policy.is_string()) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "' policy must be a string");
+    }
+    UIC_RETURN_NOT_OK(failpoint::Set(name, policy.AsString()));
+  }
+  Json armed = Json::Object();
+  for (const auto& [name, spec] : failpoint::List()) {
+    armed.Set(name, Json::Str(spec));
+  }
+  Json result = Json::Object();
+  result.Set("armed", std::move(armed));
+  return result;
+}
+
 Result<Json> Server::DoSolve(const Json& body, double queued_ms,
-                             Json* serve_info) {
+                             double deadline_ms,
+                             const WallTimer& request_timer,
+                             Json* serve_info, Json* partial) {
   const std::string graph_name = GetStringField(body, "graph");
   if (graph_name.empty()) {
     return Status::InvalidArgument("solve needs a 'graph' session name");
@@ -352,8 +408,30 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
   // so a same-key request can start solving during our eval.
   lease.Release();
   if (!solved.ok()) return solved.status();
-  counters_.RecordSolve(solve_ms);
   const AllocationResult& allocation_result = solved.value();
+
+  // Cheap deadline checks at solve-phase boundaries: a request that blows
+  // its end-to-end budget mid-solve must not return a full result late.
+  // The client gets progress stats, never a payload it could mistake for
+  // the answer it stopped waiting for.
+  const auto deadline_expired = [&]() {
+    return deadline_ms > 0.0 && request_timer.ElapsedMillis() > deadline_ms;
+  };
+  const auto deadline_status = [&]() -> Status {
+    *partial = Json::Object();
+    partial->Set("num_rr_sets",
+                 Json::Int(static_cast<long long>(
+                     allocation_result.num_rr_sets)));
+    partial->Set("rr_sets_sampled",
+                 Json::Int(static_cast<long long>(after.sampled_sets -
+                                                  before.sampled_sets)));
+    partial->Set("rr_sets_served",
+                 Json::Int(static_cast<long long>(after.served_sets -
+                                                  before.served_sets)));
+    return Status::DeadlineExceeded(
+        "request exceeded its deadline_ms mid-solve");
+  };
+  if (deadline_expired()) return deadline_status();
 
   Json result = Json::Object();
   result.Set("algorithm", Json::Str(solver.value()->name()));
@@ -381,7 +459,11 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
     welfare.Set("avg_adopters", Json::Number(estimate.avg_adopters));
     welfare.Set("avg_adoptions", Json::Number(estimate.avg_adoptions));
     result.Set("welfare", std::move(welfare));
+    // Boundary #2: Monte-Carlo evaluation can dominate the request when
+    // eval_sims is large, so re-check before shipping the result.
+    if (deadline_expired()) return deadline_status();
   }
+  counters_.RecordSolve(solve_ms);
 
   *serve_info = Json::Object();
   serve_info->Set("warm", Json::Bool(warm));

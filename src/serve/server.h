@@ -14,6 +14,11 @@
 //               drops its warm-cache entries (by generation)
 //   stats       registry + warm pool + scheduler + request counters
 //   shutdown    begin drain; in-flight requests finish, readers stop
+//   set_failpoints  {"failpoints":{"name":"policy",...}} — arm/disarm
+//               fault injection (common/failpoint.h grammar). Only
+//               answers when the server was built with `testing` set
+//               (the daemon's --testing flag); otherwise
+//               failed_precondition.
 //
 // Determinism contract: everything under a response's `result` key is a
 // pure function of the request (given the loaded sessions) — bit-identical
@@ -33,6 +38,7 @@
 #include <atomic>
 #include <string>
 
+#include "common/timer.h"
 #include "serve/json.h"
 #include "serve/net.h"
 #include "serve/protocol.h"
@@ -53,6 +59,11 @@ struct ServerOptions {
   /// Emit wall-clock fields (`serve.queued_ms`, `serve.solve_ms`,
   /// `stats.solve_ms_total`). Off = byte-reproducible sessions.
   bool include_timing = true;
+  /// Enable the `set_failpoints` verb (the daemon's --testing flag). Off
+  /// in production: clients must not be able to inject faults. The
+  /// UIC_FAILPOINTS environment variable works regardless — arming the
+  /// process is the operator's call, not the remote client's.
+  bool testing = false;
 };
 
 class Server {
@@ -86,9 +97,16 @@ class Server {
   std::string HandleRequest(const Request& request);
   [[nodiscard]] Result<Json> DoLoadGraph(const Json& body);
   [[nodiscard]] Result<Json> DoLoadParams(const Json& body);
+  /// `deadline_ms` is the request's end-to-end budget and `request_timer`
+  /// has been running since the request arrived; on a mid-solve deadline
+  /// miss the status is DeadlineExceeded and *partial holds progress
+  /// stats for the error payload.
   [[nodiscard]] Result<Json> DoSolve(const Json& body, double queued_ms,
-                                     Json* serve_info);
+                                     double deadline_ms,
+                                     const WallTimer& request_timer,
+                                     Json* serve_info, Json* partial);
   [[nodiscard]] Result<Json> DoUnload(const Json& body);
+  [[nodiscard]] Result<Json> DoSetFailpoints(const Json& body);
 
   const ServerOptions options_;
   std::atomic<bool> own_stop_{false};

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/serialization.h"
 #include "exp/configs.h"
 #include "exp/networks.h"
@@ -15,6 +16,15 @@ Result<GraphSession> SessionRegistry::AddGraph(const std::string& name,
                                                Graph graph) {
   if (name.empty()) {
     return Status::InvalidArgument("graph session name must be non-empty");
+  }
+  {
+    // error(...) makes a load fail after validation — the registry must
+    // stay exactly as it was; delay_ms(n) widens load/unload races.
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.session.add_graph");
+    failpoint::SleepFor(fp);
+    if (fp.action == failpoint::Action::kError) {
+      return Status::Internal("injected fault at serve.session.add_graph");
+    }
   }
   MutexLock lock(mu_);
   const bool replacing = graphs_.count(name) > 0;
@@ -52,6 +62,16 @@ Result<ParamsSession> SessionRegistry::AddParams(const std::string& name,
 }
 
 Result<GraphSession> SessionRegistry::GetGraph(const std::string& name) const {
+  {
+    // Simulates losing the race with an unload: the lookup fails the way
+    // it would if another client dropped the session a beat earlier.
+    const failpoint::Hit fp = UIC_FAILPOINT("serve.session.get_graph");
+    failpoint::SleepFor(fp);
+    if (fp.action == failpoint::Action::kError) {
+      return Status::NotFound("injected fault at serve.session.get_graph: '" +
+                              name + "' vanished");
+    }
+  }
   MutexLock lock(mu_);
   auto it = graphs_.find(name);
   if (it == graphs_.end()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace uic {
 namespace serve {
 
@@ -34,6 +36,11 @@ WarmPool::Entry* WarmPool::FindEntry(size_t id) {
 
 WarmLease WarmPool::Acquire(const WarmKey& key,
                             std::shared_ptr<const Graph> graph) {
+  // delay_ms(n) widens the window between two same-key acquirers (and
+  // between acquire and a concurrent unload's DropGeneration) so the
+  // lease serialization is actually contended under TSan. Before the
+  // lock: an injected delay must never be charged to mu_ holders.
+  failpoint::SleepFor(UIC_FAILPOINT("serve.warm.acquire"));
   MutexLock lock(mu_);
   while (true) {
     Entry* found = nullptr;

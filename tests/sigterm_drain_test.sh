@@ -1,0 +1,52 @@
+#!/bin/sh
+# SIGTERM-during-active-solve drain test for uic_served (pipe mode).
+#
+# Arms the post-admission delay failpoint through the UIC_FAILPOINTS
+# environment variable (which also end-to-end tests env activation), pins
+# a solve in flight for 1.5s, and sends SIGTERM mid-solve. The drain
+# contract: the in-flight response is still delivered and the daemon
+# exits 0 — a signal never truncates an answered request.
+#
+# Usage: sigterm_drain_test.sh <uic_served-binary> <work-dir>
+set -eu
+
+SERVED="$1"
+WORK="$2"
+cd "$WORK"
+
+rm -f sigterm_in.fifo sigterm_out.jsonl
+mkfifo sigterm_in.fifo
+
+UIC_FAILPOINTS='serve.solve.admitted=delay_ms(1500)' \
+    "$SERVED" --no-timing < sigterm_in.fifo > sigterm_out.jsonl &
+pid=$!
+
+# Keep the fifo's write end open for the daemon's whole life so the
+# reader sees SIGTERM, not EOF.
+exec 3> sigterm_in.fifo
+printf '%s\n' \
+    '{"id":1,"verb":"load_graph","name":"g","network":"er","nodes":300,"edges":1500}' \
+    '{"id":2,"verb":"load_params","name":"p","config":"config12"}' \
+    '{"id":3,"verb":"solve","graph":"g","params":"p","budgets":[3,3],"seed":4,"eval_sims":100}' \
+    >&3
+
+# Let the solve get admitted and into its injected 1.5s delay, then
+# signal mid-solve.
+sleep 0.6
+kill -TERM "$pid"
+exec 3>&-
+
+status=0
+wait "$pid" || status=$?
+
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: uic_served exited $status after SIGTERM (want 0)"
+    cat sigterm_out.jsonl
+    exit 1
+fi
+if ! grep -q '"id":3,"ok":true' sigterm_out.jsonl; then
+    echo "FAIL: in-flight solve response was not delivered before exit"
+    cat sigterm_out.jsonl
+    exit 1
+fi
+echo "PASS: SIGTERM mid-solve drained cleanly; in-flight response delivered"

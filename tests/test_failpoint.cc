@@ -1,0 +1,183 @@
+// Unit tests for the deterministic fault-injection registry
+// (common/failpoint.h). Everything here drives the registry through its
+// public API — failpoint::Set / Configure / Evaluate — never by adding
+// sites (lint rule UIC-L010 keeps sites inside src/). The serve-stack
+// integration matrix (every site -> typed protocol error -> daemon still
+// serves) lives in test_serve.cc.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace uic {
+namespace {
+
+/// The registry is process-global, so every test starts and ends empty —
+/// a leaked policy would fail an unrelated test in a confusing place.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::ClearAll(); }
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  EXPECT_FALSE(failpoint::AnyActive());
+  const failpoint::Hit hit = failpoint::Evaluate("serve.net.recv");
+  EXPECT_FALSE(hit.fired());
+  EXPECT_EQ(hit.action, failpoint::Action::kOff);
+}
+
+TEST_F(FailpointTest, ErrorPolicyWithSymbolicErrno) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EPIPE)").ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  const failpoint::Hit hit = failpoint::Evaluate("a");
+  ASSERT_TRUE(hit.fired());
+  EXPECT_EQ(hit.action, failpoint::Action::kError);
+  EXPECT_EQ(hit.error_errno, EPIPE);
+}
+
+TEST_F(FailpointTest, ErrorPolicyWithDecimalErrno) {
+  ASSERT_TRUE(failpoint::Set("a", "error(5)").ok());
+  const failpoint::Hit hit = failpoint::Evaluate("a");
+  ASSERT_TRUE(hit.fired());
+  EXPECT_EQ(hit.error_errno, 5);
+}
+
+TEST_F(FailpointTest, ShortIoPolicyCarriesByteCount) {
+  ASSERT_TRUE(failpoint::Set("a", "short_io(3)").ok());
+  const failpoint::Hit hit = failpoint::Evaluate("a");
+  ASSERT_TRUE(hit.fired());
+  EXPECT_EQ(hit.action, failpoint::Action::kShortIo);
+  EXPECT_EQ(hit.arg, 3u);
+}
+
+TEST_F(FailpointTest, DelayPolicyCarriesMillisAndSleepReturns) {
+  ASSERT_TRUE(failpoint::Set("a", "delay_ms(1)").ok());
+  const failpoint::Hit hit = failpoint::Evaluate("a");
+  ASSERT_TRUE(hit.fired());
+  EXPECT_EQ(hit.action, failpoint::Action::kDelayMs);
+  EXPECT_EQ(hit.arg, 1u);
+  failpoint::SleepFor(hit);  // must return promptly, not hang
+  failpoint::SleepFor(failpoint::Hit{});  // no-op on a miss
+}
+
+TEST_F(FailpointTest, OnlyTheNamedSiteFires) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO)").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a").fired());
+  EXPECT_FALSE(failpoint::Evaluate("b").fired());
+}
+
+TEST_F(FailpointTest, OnceFiresOnExactlyTheFirstEvaluation) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO):once").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a").fired());
+  EXPECT_FALSE(failpoint::Evaluate("a").fired());
+  EXPECT_FALSE(failpoint::Evaluate("a").fired());
+  // The site stays armed (listed) even after its trigger is spent.
+  EXPECT_TRUE(failpoint::AnyActive());
+}
+
+TEST_F(FailpointTest, EveryKFiresOnMultiplesOfK) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO):every(2)").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(failpoint::Evaluate("a").fired());
+  const std::vector<bool> expected = {false, true, false, true, false, true};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_F(FailpointTest, ReSetResetsTheEvaluationCounter) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO):once").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a").fired());
+  EXPECT_FALSE(failpoint::Evaluate("a").fired());
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO):once").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a").fired());  // counter back to zero
+}
+
+TEST_F(FailpointTest, CounterIsDeterministicAcrossRearm) {
+  // Same policy, same evaluation sequence => same firing pattern. This is
+  // the whole determinism claim: triggers key off the seeded counter.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(failpoint::Set("a", "short_io(1):every(3)").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 7; ++i) {
+      fired.push_back(failpoint::Evaluate("a").fired());
+    }
+    const std::vector<bool> expected = {false, false, true, false,
+                                        false, true,  false};
+    EXPECT_EQ(fired, expected) << "round " << round;
+  }
+}
+
+TEST_F(FailpointTest, OffPolicyDisarmsASite) {
+  ASSERT_TRUE(failpoint::Set("a", "error(EIO)").ok());
+  ASSERT_TRUE(failpoint::Set("a", "off").ok());
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_FALSE(failpoint::Evaluate("a").fired());
+  // Disarming a site that was never armed is fine.
+  ASSERT_TRUE(failpoint::Set("never.armed", "off").ok());
+}
+
+TEST_F(FailpointTest, ConfigureArmsMultipleSitesFromOneSpec) {
+  ASSERT_TRUE(
+      failpoint::Configure("a=error(EPIPE),b=short_io(2),c=delay_ms(0)").ok());
+  const auto armed = failpoint::List();
+  ASSERT_EQ(armed.size(), 3u);  // std::map order: name-sorted
+  EXPECT_EQ(armed[0], (std::pair<std::string, std::string>("a", "error(EPIPE)")));
+  EXPECT_EQ(armed[1], (std::pair<std::string, std::string>("b", "short_io(2)")));
+  EXPECT_EQ(armed[2], (std::pair<std::string, std::string>("c", "delay_ms(0)")));
+  EXPECT_TRUE(failpoint::Evaluate("a").fired());
+  EXPECT_TRUE(failpoint::Evaluate("b").fired());
+}
+
+TEST_F(FailpointTest, ClearAllDisarmsEverything) {
+  ASSERT_TRUE(failpoint::Configure("a=error(EIO),b=error(EIO)").ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  failpoint::ClearAll();
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_TRUE(failpoint::List().empty());
+  EXPECT_FALSE(failpoint::Evaluate("a").fired());
+}
+
+TEST_F(FailpointTest, MalformedPoliciesAreRejected) {
+  const char* bad[] = {
+      "bogus(1)",          // unknown action
+      "error()",           // empty errno
+      "error(ENOSUCH)",    // unknown symbolic errno
+      "error(0)",          // errno must be positive
+      "short_io()",        // missing byte count
+      "short_io(0)",       // zero-byte short read is not a fault
+      "short_io(abc)",     // non-numeric
+      "delay_ms()",        // missing millis
+      "off(1)",            // off takes no argument
+      "off:once",          // off takes no trigger
+      "error(EIO):sometimes",  // unknown trigger
+      "error(EIO):once(2)",    // once takes no argument
+      "error(EIO):every(0)",   // every needs k > 0
+      "error(EIO):every()",    // every needs k
+      "error(EIO",         // mismatched parens
+  };
+  for (const char* policy : bad) {
+    const Status status = failpoint::Set("a", policy);
+    EXPECT_FALSE(status.ok()) << "policy accepted: " << policy;
+    EXPECT_EQ(status.code(), Status::Code::kInvalidArgument) << policy;
+  }
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(failpoint::Configure("noequals").ok());
+  EXPECT_FALSE(failpoint::Configure("=error(EIO)").ok());
+  EXPECT_FALSE(failpoint::Configure("a=error(EIO),b=bogus").ok());
+  EXPECT_FALSE(failpoint::Set("", "error(EIO)").ok());
+  // Empty items (stray commas) are tolerated; empty spec is a no-op.
+  EXPECT_TRUE(failpoint::Configure("").ok());
+  EXPECT_TRUE(failpoint::Configure(",,a=error(EIO),,").ok());
+  EXPECT_EQ(failpoint::List().size(), 1u);
+}
+
+}  // namespace
+}  // namespace uic

@@ -6,13 +6,16 @@
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "core/serialization.h"
 #include "graph/graph.h"
 #include "serve/json.h"
 #include "serve/net.h"
@@ -58,6 +61,34 @@ TEST(ServeJson, ParserRejectsGarbage) {
   std::string deep(80, '[');
   deep += std::string(80, ']');
   EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(ServeJson, DuplicateObjectKeysAreRejected) {
+  // Last-wins duplicate handling silently dropped client data; a request
+  // with two `seed` members is a client bug the server must surface.
+  Result<Json> dup = Json::Parse("{\"a\":1,\"a\":2}");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos)
+      << dup.status().message();
+  EXPECT_FALSE(Json::Parse("{\"o\":{\"x\":1,\"x\":1}}").ok());
+  // The same key in sibling objects is fine.
+  EXPECT_TRUE(Json::Parse("{\"a\":1,\"b\":{\"a\":1}}").ok());
+}
+
+TEST(ServeJson, IntegerOverflowIsAnErrorNotSilentFolding) {
+  // Literals beyond long long used to fold to a nearby double silently;
+  // a seed of 2^64 would quietly become a different seed.
+  EXPECT_FALSE(Json::Parse("{\"a\":9223372036854775808}").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":-9223372036854775809}").ok());
+  // In-range integers round-trip exactly (2^62 is double-representable).
+  Result<Json> big = Json::Parse("{\"a\":4611686018427387904}");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().Find("a")->AsInt(), 4611686018427387904LL);
+  // Doubles outside long long's range fold to the caller's default
+  // (never an out-of-range cast), so range validators reject them.
+  Result<Json> huge = Json::Parse("{\"a\":1e300}");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge.value().Find("a")->AsInt(-1), -1);
 }
 
 TEST(ServeJson, SetOverwritesInPlaceAndFindMissesReturnNull) {
@@ -462,6 +493,322 @@ TEST(ServeServer, FourConcurrentTcpClientsGetByteIdenticalResults) {
   for (const std::string& response : results) {
     EXPECT_EQ(Section(response, "result"), want);
   }
+}
+
+// --- failpoints: channel-level fault injection -------------------------
+//
+// The send/recv/poll sites are exercised over a pipe pair, not TCP: both
+// ends of an in-process TCP conversation share FdLineChannel, so a channel
+// failpoint would fire nondeterministically on whichever side reads first.
+// With a pipe, exactly one channel reads and one writes.
+
+/// Registry hygiene: every failpoint test starts and ends with a clean
+/// registry so a leaked policy cannot fail an unrelated test.
+class FailpointChannel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::ClearAll();
+    ASSERT_EQ(pipe(fds_), 0);
+  }
+  void TearDown() override {
+    failpoint::ClearAll();
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FailpointChannel, ShortReadsReassembleTheLine) {
+  FdLineChannel writer(/*read_fd=*/-1, fds_[1]);
+  FdLineChannel reader(fds_[0], /*write_fd=*/-1);
+  ASSERT_TRUE(writer.WriteLine("{\"id\":1,\"verb\":\"ping\"}"));
+  // Every read capped at one byte: the loop must reassemble the frame.
+  ASSERT_TRUE(failpoint::Set("serve.net.recv", "short_io(1)").ok());
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "{\"id\":1,\"verb\":\"ping\"}");
+}
+
+TEST_F(FailpointChannel, ReadErrorFailsOnceThenTheChannelRecovers) {
+  FdLineChannel writer(-1, fds_[1]);
+  FdLineChannel reader(fds_[0], -1);
+  ASSERT_TRUE(writer.WriteLine("hello"));
+  ASSERT_TRUE(failpoint::Set("serve.net.recv", "error(EIO):once").ok());
+  std::string line;
+  EXPECT_FALSE(reader.ReadLine(&line));
+  // The fault was transient (once): the data is still in the pipe and the
+  // next read must deliver it — a failed read never poisons the channel.
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "hello");
+}
+
+TEST_F(FailpointChannel, EintrIsRetriedTransparently) {
+  FdLineChannel writer(-1, fds_[1]);
+  FdLineChannel reader(fds_[0], -1);
+  ASSERT_TRUE(writer.WriteLine("hello"));
+  ASSERT_TRUE(failpoint::Set("serve.net.recv", "error(EINTR):once").ok());
+  ASSERT_TRUE(failpoint::Set("serve.net.poll", "error(EINTR):once").ok());
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));  // both EINTRs retried in-loop
+  EXPECT_EQ(line, "hello");
+}
+
+TEST_F(FailpointChannel, PollTransientFailuresAreBoundedThenGiveUp) {
+  // Persistent ENOMEM from poll(): the channel backs off through the poll
+  // interval a bounded number of times (~1s total), then reports failure
+  // instead of spinning forever.
+  FdLineChannel reader(fds_[0], -1);
+  ASSERT_TRUE(failpoint::Set("serve.net.poll", "error(ENOMEM)").ok());
+  std::string line;
+  EXPECT_FALSE(reader.ReadLine(&line));
+}
+
+TEST_F(FailpointChannel, ShortWritesCompleteTheFrame) {
+  FdLineChannel writer(-1, fds_[1]);
+  FdLineChannel reader(fds_[0], -1);
+  ASSERT_TRUE(failpoint::Set("serve.net.send", "short_io(1)").ok());
+  ASSERT_TRUE(writer.WriteLine("{\"id\":2,\"verb\":\"stats\"}"));
+  failpoint::ClearAll();
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "{\"id\":2,\"verb\":\"stats\"}");
+}
+
+TEST_F(FailpointChannel, WriteErrorFailsOnceThenTheChannelRecovers) {
+  FdLineChannel writer(-1, fds_[1]);
+  FdLineChannel reader(fds_[0], -1);
+  ASSERT_TRUE(failpoint::Set("serve.net.send", "error(EPIPE):once").ok());
+  EXPECT_FALSE(writer.WriteLine("lost"));
+  ASSERT_TRUE(writer.WriteLine("kept"));
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "kept");  // the failed frame wrote nothing
+}
+
+// --- failpoints: server matrix ------------------------------------------
+
+class FailpointServer : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::ClearAll(); }
+  void TearDown() override { failpoint::ClearAll(); }
+};
+
+/// Assert `response` is a typed protocol error carrying `code`.
+void ExpectErrorCode(const std::string& response, const std::string& code) {
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"code\":\"" + code + "\""), std::string::npos)
+      << response;
+}
+
+/// The recovery half of the matrix contract: after an injected failure
+/// the same daemon instance must answer a ping AND a full solve.
+void ExpectStillServes(Server& server) {
+  EXPECT_EQ(server.HandleLine("{\"id\":91,\"verb\":\"ping\"}"),
+            "{\"id\":91,\"ok\":true,\"result\":{\"pong\":true}}");
+  const std::string solve = server.HandleLine(kSolveWarm);
+  EXPECT_NE(solve.find("\"ok\":true"), std::string::npos) << solve;
+}
+
+TEST_F(FailpointServer, EveryInjectedFailureYieldsATypedErrorThenRecovers) {
+  struct Case {
+    const char* site;
+    const char* policy;
+    const char* request;
+    const char* code;
+  };
+  const Case kCases[] = {
+      // Admission forced to shed on an idle server.
+      {"serve.scheduler.admit", "error(EIO):once", kSolveWarm, "overloaded"},
+      // Post-admission internal failure in the solve path.
+      {"serve.solve.admitted", "error(EIO):once", kSolveWarm, "internal"},
+      // Graph lookup loses the race with a concurrent unload.
+      {"serve.session.get_graph", "error(EIO):once", kSolveWarm, "not_found"},
+      // Registry insert fails after the graph was built.
+      {"serve.session.add_graph", "error(EIO):once",
+       "{\"id\":21,\"verb\":\"load_graph\",\"name\":\"g2\","
+       "\"network\":\"er\",\"nodes\":50,\"edges\":200}",
+       "internal"},
+  };
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.site);
+    ASSERT_TRUE(failpoint::Set(c.site, c.policy).ok());
+    ExpectErrorCode(server.HandleLine(c.request), c.code);
+    ExpectStillServes(server);
+    failpoint::ClearAll();
+  }
+}
+
+TEST_F(FailpointServer, SerializationFaultsSurfaceAsNotFoundAndRecover) {
+  Server server(GoldenOptions());
+  const std::string graph_path = ::testing::TempDir() + "uic_fp_graph.txt";
+  const std::string params_path = ::testing::TempDir() + "uic_fp_params.txt";
+  ASSERT_TRUE(SaveGraph(TinyGraph(3), graph_path).ok());
+  Json params_spec = Json::Object();
+  params_spec.Set("config", Json::Str("config12"));
+  Result<ItemParams> params = BuildParamsFromSpec(params_spec);
+  ASSERT_TRUE(params.ok()) << params.status().message();
+  ASSERT_TRUE(SaveItemParams(params.value(), params_path).ok());
+
+  const std::string load_graph_req =
+      "{\"id\":30,\"verb\":\"load_graph\",\"name\":\"gfile\",\"path\":\"" +
+      graph_path + "\"}";
+  const std::string load_params_req =
+      "{\"id\":31,\"verb\":\"load_params\",\"name\":\"pfile\",\"path\":\"" +
+      params_path + "\"}";
+
+  // Control: both files load cleanly with no faults armed.
+  ASSERT_NE(server.HandleLine(load_graph_req).find("\"ok\":true"),
+            std::string::npos);
+  ASSERT_NE(server.HandleLine(load_params_req).find("\"ok\":true"),
+            std::string::npos);
+
+  // An injected read error and a truncated file both surface as the
+  // typed IO failure (not_found on the wire), never a crash or a
+  // half-loaded session.
+  ASSERT_TRUE(
+      failpoint::Set("core.serialization.load_graph", "error(EIO):once").ok());
+  ExpectErrorCode(server.HandleLine(load_graph_req), "not_found");
+  ASSERT_TRUE(
+      failpoint::Set("core.serialization.load_graph", "short_io(40):once").ok());
+  ExpectErrorCode(server.HandleLine(load_graph_req), "not_found");
+  ASSERT_TRUE(
+      failpoint::Set("core.serialization.load_params", "error(EIO):once").ok());
+  ExpectErrorCode(server.HandleLine(load_params_req), "not_found");
+
+  // All triggers spent: the same files load again on the same daemon.
+  EXPECT_NE(server.HandleLine(load_graph_req).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(server.HandleLine(load_params_req).find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST_F(FailpointServer, EveryKPolicyShedsDeterministically) {
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  // every(2) on admission: solves alternate admitted, shed, admitted...
+  // purely off the evaluation counter — rerunning gives the same pattern.
+  ASSERT_TRUE(
+      failpoint::Set("serve.scheduler.admit", "error(EIO):every(2)").ok());
+  EXPECT_NE(server.HandleLine(kSolveWarm).find("\"ok\":true"),
+            std::string::npos);
+  ExpectErrorCode(server.HandleLine(kSolveWarm), "overloaded");
+  EXPECT_NE(server.HandleLine(kSolveWarm).find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST_F(FailpointServer, DelayPoliciesNeverPerturbTheResultPayload) {
+  // The robustness machinery must not touch welfare estimates: a solve
+  // slowed down at three different sites returns bit-identical `result`.
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  const std::string want = Section(server.HandleLine(kSolveCold), "result");
+  ASSERT_TRUE(failpoint::Configure("serve.warm.acquire=delay_ms(2),"
+                                   "serve.solve.admitted=delay_ms(2),"
+                                   "serve.session.get_graph=delay_ms(1)")
+                  .ok());
+  EXPECT_EQ(Section(server.HandleLine(kSolveWarm), "result"), want);
+}
+
+TEST_F(FailpointServer, MidSolveDeadlineReturnsPartialStatsAndRecovers) {
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  // Queued-phase admission passes (the queue is empty), then the injected
+  // post-admission delay blows the 10ms end-to-end budget mid-solve.
+  ASSERT_TRUE(
+      failpoint::Set("serve.solve.admitted", "delay_ms(30):once").ok());
+  const std::string response = server.HandleLine(
+      "{\"id\":40,\"verb\":\"solve\",\"graph\":\"g\",\"params\":\"p\","
+      "\"budgets\":[3,3],\"seed\":4,\"eval_sims\":100,\"deadline_ms\":10}");
+  ExpectErrorCode(response, "deadline_exceeded");
+  Result<Json> parsed = Json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  const Json* error = parsed.value().Find("error");
+  ASSERT_NE(error, nullptr) << response;
+  // The partial payload reports progress, never a mistakable result.
+  const Json* partial = error->Find("partial");
+  ASSERT_NE(partial, nullptr) << response;
+  EXPECT_NE(partial->Find("num_rr_sets"), nullptr) << response;
+  EXPECT_NE(partial->Find("rr_sets_sampled"), nullptr) << response;
+  EXPECT_NE(partial->Find("rr_sets_served"), nullptr) << response;
+  EXPECT_EQ(parsed.value().Find("result"), nullptr) << response;
+  ExpectStillServes(server);
+}
+
+TEST_F(FailpointServer, SetFailpointsVerbRequiresTestingMode) {
+  Server server(GoldenOptions());  // testing defaults to false
+  ExpectErrorCode(
+      server.HandleLine(
+          "{\"id\":1,\"verb\":\"set_failpoints\",\"failpoints\":{}}"),
+      "failed_precondition");
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST_F(FailpointServer, SetFailpointsVerbArmsFiresAndDisarms) {
+  ServerOptions options = GoldenOptions();
+  options.testing = true;
+  Server server(options);
+  LoadFixtures(server);
+  const std::string armed = server.HandleLine(
+      "{\"id\":1,\"verb\":\"set_failpoints\",\"failpoints\":"
+      "{\"serve.solve.admitted\":\"error(EIO):once\"}}");
+  ASSERT_NE(armed.find("\"ok\":true"), std::string::npos) << armed;
+  EXPECT_NE(
+      armed.find("\"serve.solve.admitted\":\"error(EIO):once\""),
+      std::string::npos)
+      << armed;
+  ExpectErrorCode(server.HandleLine(kSolveWarm), "internal");
+  ExpectStillServes(server);
+  // 'off' disarms and the response reports an empty armed set.
+  const std::string off = server.HandleLine(
+      "{\"id\":2,\"verb\":\"set_failpoints\",\"failpoints\":"
+      "{\"serve.solve.admitted\":\"off\"}}");
+  ASSERT_NE(off.find("\"ok\":true"), std::string::npos) << off;
+  EXPECT_NE(off.find("\"armed\":{}"), std::string::npos) << off;
+  // Malformed input is a bad_request, and arms nothing.
+  ExpectErrorCode(server.HandleLine(
+                      "{\"id\":3,\"verb\":\"set_failpoints\",\"failpoints\":"
+                      "{\"a\":\"bogus(1)\"}}"),
+                  "bad_request");
+  ExpectErrorCode(
+      server.HandleLine("{\"id\":4,\"verb\":\"set_failpoints\"}"),
+      "bad_request");
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST_F(FailpointServer, AcceptFaultsNeverTakeDownTheListener) {
+  Server server(GoldenOptions());
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  const uint16_t port = listener.value().port();
+  // The accept site is TCP-safe to inject in-process: only the server
+  // side ever calls Accept (clients connect). An aborted handshake and an
+  // fd-table-exhaustion storm must both leave the listener serving.
+  ASSERT_TRUE(
+      failpoint::Set("serve.net.accept", "error(ECONNABORTED):once").ok());
+  BackgroundThread serving([&] { (void)server.ServeTcp(listener.value()); });
+
+  {
+    Result<TcpConnection> conn = TcpListener::Connect(port);
+    ASSERT_TRUE(conn.ok()) << conn.status().message();
+    FdLineChannel channel(conn.value().fd(), conn.value().fd(), true);
+    ASSERT_TRUE(channel.WriteLine("{\"id\":1,\"verb\":\"ping\"}"));
+    std::string response;
+    ASSERT_TRUE(channel.ReadLine(&response));
+    EXPECT_EQ(response, "{\"id\":1,\"ok\":true,\"result\":{\"pong\":true}}");
+  }
+  ASSERT_TRUE(failpoint::Set("serve.net.accept", "error(EMFILE):once").ok());
+  {
+    Result<TcpConnection> conn = TcpListener::Connect(port);
+    ASSERT_TRUE(conn.ok()) << conn.status().message();
+    FdLineChannel channel(conn.value().fd(), conn.value().fd(), true);
+    ASSERT_TRUE(channel.WriteLine("{\"id\":2,\"verb\":\"shutdown\"}"));
+    std::string response;
+    ASSERT_TRUE(channel.ReadLine(&response));
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  }
+  serving.Join();
 }
 
 }  // namespace

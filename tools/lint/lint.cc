@@ -70,6 +70,13 @@ const std::vector<Rule>& RuleTable() {
        "sample through RrSampler/IcSimulator with a SamplingPlan "
        "(graph/sampling_plan.h); intentionally-general per-edge scans "
        "need a whitelist entry"},
+      {"UIC-L010", "failpoint-site",
+       "a UIC_FAILPOINT site outside first-party library code lets tests "
+       "and tools invent injection points ad hoc, off the audited site "
+       "roster in common/failpoint.h",
+       "inject through the registry API (failpoint::Set/Configure, the "
+       "UIC_FAILPOINTS env var, or the set_failpoints verb); sites live "
+       "only under src/"},
   };
   return rules;
 }
@@ -329,6 +336,7 @@ std::vector<Violation> LintSource(const std::string& path,
   // idiom (scalar NextBernoulli(p) calls are fine).
   static const std::regex re_edge_bernoulli(
       R"(\bNextBernoulli\s*\(\s*\w+\s*\[)");
+  static const std::regex re_failpoint_site(R"(\bUIC_FAILPOINT\s*\()");
 
   const std::vector<std::string> unordered_vars = UnorderedVarNames(stripped);
   std::vector<std::regex> re_unordered_iter;
@@ -383,6 +391,10 @@ std::vector<Violation> LintSource(const std::string& path,
     if (!is_sampling_kernel && std::regex_search(line, re_edge_bernoulli)) {
       Add(&out, path, line_no, "UIC-L009",
           "per-edge Bernoulli scan outside the sampling-plan kernels");
+    }
+    if (!in_library && std::regex_search(line, re_failpoint_site)) {
+      Add(&out, path, line_no, "UIC-L010",
+          "UIC_FAILPOINT site outside src/ library code");
     }
   }
 

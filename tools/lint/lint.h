@@ -24,6 +24,9 @@
 //                                 probability arrays outside the
 //                                 sampling-plan scan kernels (forfeits
 //                                 geometric skip-sampling)
+//   UIC-L010 failpoint-site       UIC_FAILPOINT sites outside src/ (tests
+//                                 and tools inject via the failpoint
+//                                 registry, never by adding sites)
 //
 // Scanning is token-oriented over comment- and string-stripped source, so
 // a doc comment mentioning `std::thread` is not a violation. Vetted

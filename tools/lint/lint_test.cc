@@ -46,6 +46,7 @@ TEST(UicLint, EachRuleFixtureIsCaughtAtTheDocumentedLine) {
       {"violation_unordered_iter.cc", "UIC-L006", 8},
       {"violation_socket_io.cc", "UIC-L008", 6},
       {"violation_edge_bernoulli.cc", "UIC-L009", 10},
+      {"violation_failpoint.cc", "UIC-L010", 7},
   };
   for (const FixtureCase& c : cases) {
     const std::vector<Violation> found = LintFixture(c.file);
@@ -208,14 +209,28 @@ TEST(UicLint, WhitelistLoaderParsesEntriesAndComments) {
   EXPECT_EQ(wl.entries[0].path_suffix, "tests/test_thread_pool.cc");
 }
 
-TEST(UicLint, RuleTableHasNineRulesWithHints) {
+TEST(UicLint, RuleTableHasTenRulesWithHints) {
   const std::vector<Rule>& rules = RuleTable();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 10u);
   for (size_t i = 0; i < rules.size(); ++i) {
-    EXPECT_EQ(rules[i].id, "UIC-L00" + std::to_string(i + 1));
+    std::string number = std::to_string(i + 1);
+    while (number.size() < 3) number.insert(number.begin(), '0');
+    EXPECT_EQ(rules[i].id, "UIC-L" + number);
     EXPECT_FALSE(rules[i].hint.empty()) << rules[i].id;
     EXPECT_FALSE(rules[i].description.empty()) << rules[i].id;
   }
+}
+
+TEST(UicLint, FailpointSiteRuleExemptsLibraryCode) {
+  const std::string source =
+      ReadFile(TestDataPath() + "/violation_failpoint.cc");
+  // Sites are legal anywhere under src/ (the audited roster)...
+  EXPECT_TRUE(LintSource("src/serve/net.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/core/serialization.cc", source).empty());
+  // ...but tests, benches, and tools must go through the registry API.
+  EXPECT_EQ(LintSource("tests/test_serve.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("bench/bench_serve.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("examples/uic_served.cpp", source).size(), 1u);
 }
 
 TEST(UicLint, CliExitsNonzeroOnViolationsAndReportsRuleAndPath) {

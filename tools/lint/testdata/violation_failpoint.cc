@@ -1,0 +1,10 @@
+// Fixture: UIC-L010 — UIC_FAILPOINT site outside src/ library code
+// (line 7). Tests arm failpoints via the registry, never by adding sites.
+int InjectedEof();
+
+bool FlakyRead(int fd) {
+  // A test inventing its own injection point, off the audited roster:
+  const auto hit = UIC_FAILPOINT("test.my_private_site");
+  (void)hit;
+  return fd >= 0 && InjectedEof() == 0;
+}
