@@ -37,6 +37,8 @@
 #include "exp/suite.h"
 #include "exp/sweep.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/registry.h"
 
 namespace uic {
@@ -96,7 +98,12 @@ constexpr const char* kUsage =
     "report:\n"
     "  --mc N             welfare-evaluation simulations   (default 400)\n"
     "  --eval-seed S      welfare-evaluation seed          (default 999)\n"
-    "  --save-allocation PATH   persist the allocation (SaveAllocation)\n";
+    "  --save-allocation PATH   persist the allocation (SaveAllocation)\n"
+    "\n"
+    "observability (docs/observability.md):\n"
+    "  --metrics-out FILE write the metric exposition at exit (timing\n"
+    "                     series omitted under --no-timing)\n"
+    "  --trace-out FILE   record JSONL span trees to FILE\n";
 
 /// Set by the SIGINT/SIGTERM handler; SweepRunner checks it between cells.
 std::atomic<bool> g_interrupted{false};
@@ -306,8 +313,36 @@ int RunSweep(const Flags& flags, const WelfareProblem& problem,
   return interrupted ? 130 : 0;
 }
 
+/// Flushes --metrics-out / --trace-out on every exit path.
+struct ObsFlusher {
+  std::string metrics_path;
+  bool include_timing = true;
+  ~ObsFlusher() {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << obs::MetricsRegistry::Global().ExpositionText(include_timing);
+      if (!out) {
+        std::fprintf(stderr, "uic_run: cannot write %s\n",
+                     metrics_path.c_str());
+      }
+    }
+    obs::TraceRecorder::Global().Disable();
+  }
+};
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
+
+  ObsFlusher obs_flusher;
+  obs_flusher.metrics_path = flags.GetString("metrics-out");
+  obs_flusher.include_timing = !flags.GetBool("no-timing");
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty() &&
+      !obs::TraceRecorder::Global().EnableFile(trace_out)) {
+    std::fprintf(stderr, "uic_run: cannot open --trace-out %s\n",
+                 trace_out.c_str());
+    return 2;
+  }
 
   if (flags.GetBool("list")) {
     for (const std::string& name : SolverRegistry::ListSolvers()) {

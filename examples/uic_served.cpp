@@ -20,9 +20,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/thread_pool.h"
 #include "exp/flags.h"
+#include "obs/trace.h"
 #include "serve/net.h"
 #include "serve/server.h"
 
@@ -41,6 +43,9 @@ constexpr const char* kUsage =
     "  --max-params N      param sessions pinned at once     (default 32)\n"
     "  --warm-entries N    warm RR-pool LRU bound            (default 16)\n"
     "  --no-timing         omit wall-clock response fields (golden mode)\n"
+    "  --metrics-port N    also serve the Prometheus text exposition over\n"
+    "                      HTTP on 127.0.0.1:N (0 = ephemeral, printed)\n"
+    "  --trace-out FILE    record JSONL span trees to FILE (off by default)\n"
     "  --testing           enable the set_failpoints verb (fault injection;\n"
     "                      never in production). The UIC_FAILPOINTS env var\n"
     "                      (common/failpoint.h grammar) arms failpoints\n"
@@ -104,7 +109,54 @@ int Run(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
 
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty() &&
+      !obs::TraceRecorder::Global().EnableFile(trace_out)) {
+    std::fprintf(stderr, "uic_served: cannot open --trace-out %s\n",
+                 trace_out.c_str());
+    return 2;
+  }
+
   serve::Server server(options, &g_stop);
+
+  // The metrics endpoint rides on its own listener + BackgroundThread so
+  // a scrape can never queue behind (or be shed by) request admission.
+  serve::TcpListener metrics_listener;
+  std::unique_ptr<BackgroundThread> metrics_thread;
+  const long metrics_port = flags.GetInt("metrics-port", -1);
+  if (metrics_port >= 0) {
+    if (metrics_port > 65535) {
+      std::fprintf(stderr,
+                   "uic_served: --metrics-port must be in [0, 65535]\n");
+      return 2;
+    }
+    Result<serve::TcpListener> listener =
+        serve::TcpListener::Listen(static_cast<uint16_t>(metrics_port));
+    if (!listener.ok()) {
+      std::fprintf(stderr, "uic_served: %s\n",
+                   listener.status().ToString().c_str());
+      return 1;
+    }
+    metrics_listener = listener.MoveValue();
+    std::fprintf(stderr, "uic_served: metrics on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(metrics_listener.port()));
+    metrics_thread = std::make_unique<BackgroundThread>([&server,
+                                                         &metrics_listener]() {
+      const Status status = server.ServeMetricsHttp(metrics_listener);
+      if (!status.ok()) {
+        std::fprintf(stderr, "uic_served: metrics endpoint: %s\n",
+                     status.ToString().c_str());
+      }
+    });
+  }
+  struct TraceFlusher {
+    std::unique_ptr<BackgroundThread>* thread;
+    ~TraceFlusher() {
+      g_stop.store(true, std::memory_order_relaxed);
+      if (*thread != nullptr) (*thread)->Join();
+      obs::TraceRecorder::Global().Disable();
+    }
+  } flusher{&metrics_thread};
 
   const long port = flags.GetInt("port", -1);
   if (port >= 0) {

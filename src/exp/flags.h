@@ -62,13 +62,18 @@ class Flags {
   }
 
  private:
+  /// Accepts both "--name value" and "--name=value".
   const char* Find(const std::string& name) const {
     const std::string flag = "--" + name;
+    const std::string flag_eq = flag + "=";
     for (int i = 1; i < argc_; ++i) {
       if (flag == argv_[i]) {
         UIC_CHECK_MSG(i + 1 < argc_, "flag --%s expects a value",
                       name.c_str());
         return argv_[i + 1];
+      }
+      if (std::strncmp(argv_[i], flag_eq.c_str(), flag_eq.size()) == 0) {
+        return argv_[i] + flag_eq.size();
       }
     }
     return nullptr;

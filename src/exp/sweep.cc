@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "diffusion/uic_model.h"
+#include "obs/trace.h"
 #include "solver/registry.h"
 
 namespace uic {
@@ -193,6 +194,8 @@ Result<SweepReport> SweepRunner::Run() {
       cache_.TrimPassProbEntries(4);
       problem.budgets = budgets;
 
+      obs::TraceSpan cell_span("sweep.cell");
+      cell_span.SetAttr("budget", budgets.empty() ? 0 : budgets[0]);
       const size_t sampled_before = cache_.stats().sampled_sets;
       Result<AllocationResult> solved = solver.value()->Solve(problem);
       if (!solved.ok()) {

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace uic {
+namespace obs {
+namespace {
+
+// Number formatting matches serve/json.h (%lld / %.17g) so every surface
+// that prints metric values renders them identically.
+std::string FormatInt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FormatSigned(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// `name{labels} ` or `name{labels,extra} ` or `name ` when both are empty.
+std::string SeriesPrefix(const std::string& name, const std::string& labels,
+                         const std::string& extra = "") {
+  std::string out = name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(const double* bounds, size_t bound_count)
+    : bounds_(bounds), bound_count_(bound_count), buckets_(bound_count + 1) {
+  for (size_t i = 0; i + 1 < bound_count; ++i) {
+    UIC_CHECK_MSG(bounds[i] < bounds[i + 1],
+                  "histogram bucket boundaries must be strictly increasing");
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindLocked(
+    const std::string& name, const std::string& labels) {
+  for (const std::unique_ptr<Instrument>& inst : instruments_) {
+    if (inst->name == name && inst->labels == labels) return inst.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& labels,
+                                          const std::string& help,
+                                          bool timing) {
+  MutexLock lock(mu_);
+  if (Instrument* existing = FindLocked(name, labels)) {
+    UIC_CHECK_MSG(existing->kind == Kind::kCounter,
+                  "metric '%s' re-registered with a different kind",
+                  name.c_str());
+    return existing->counter.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->kind = Kind::kCounter;
+  inst->name = name;
+  inst->labels = labels;
+  inst->help = help;
+  inst->timing = timing;
+  inst->counter = std::make_unique<Counter>();
+  Counter* out = inst->counter.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  MutexLock lock(mu_);
+  if (Instrument* existing = FindLocked(name, labels)) {
+    UIC_CHECK_MSG(existing->kind == Kind::kGauge,
+                  "metric '%s' re-registered with a different kind",
+                  name.c_str());
+    return existing->gauge.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->kind = Kind::kGauge;
+  inst->name = name;
+  inst->labels = labels;
+  inst->help = help;
+  inst->gauge = std::make_unique<Gauge>();
+  Gauge* out = inst->gauge.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& labels,
+                                              const std::string& help,
+                                              const double* bounds,
+                                              size_t bound_count,
+                                              bool timing) {
+  MutexLock lock(mu_);
+  if (Instrument* existing = FindLocked(name, labels)) {
+    UIC_CHECK_MSG(existing->kind == Kind::kHistogram,
+                  "metric '%s' re-registered with a different kind",
+                  name.c_str());
+    return existing->histogram.get();
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->kind = Kind::kHistogram;
+  inst->name = name;
+  inst->labels = labels;
+  inst->help = help;
+  inst->timing = timing;
+  inst->histogram = std::make_unique<Histogram>(bounds, bound_count);
+  Histogram* out = inst->histogram.get();
+  instruments_.push_back(std::move(inst));
+  return out;
+}
+
+std::string MetricsRegistry::ExpositionText(bool include_timing) const {
+  // Snapshot the instrument pointers under the lock; instruments are
+  // append-only so reading their values afterwards is safe.
+  std::vector<const Instrument*> snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot.reserve(instruments_.size());
+    for (const std::unique_ptr<Instrument>& inst : instruments_) {
+      if (inst->timing && !include_timing) continue;
+      snapshot.push_back(inst.get());
+    }
+  }
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const Instrument* a, const Instrument* b) {
+                     if (a->name != b->name) return a->name < b->name;
+                     return a->labels < b->labels;
+                   });
+
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const Instrument* inst : snapshot) {
+    if (last_family == nullptr || *last_family != inst->name) {
+      out += "# HELP " + inst->name + " " + inst->help + "\n";
+      out += "# TYPE " + inst->name + " ";
+      switch (inst->kind) {
+        case Kind::kCounter:
+          out += "counter";
+          break;
+        case Kind::kGauge:
+          out += "gauge";
+          break;
+        case Kind::kHistogram:
+          out += "histogram";
+          break;
+      }
+      out += "\n";
+      last_family = &inst->name;
+    }
+    switch (inst->kind) {
+      case Kind::kCounter:
+        out += SeriesPrefix(inst->name, inst->labels) +
+               FormatInt(inst->counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += SeriesPrefix(inst->name, inst->labels) +
+               FormatSigned(inst->gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *inst->histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= h.bound_count(); ++i) {
+          cumulative += h.BucketValue(i);
+          const std::string le =
+              i < h.bound_count()
+                  ? "le=\"" + FormatDouble(h.bounds()[i]) + "\""
+                  : std::string("le=\"+Inf\"");
+          out += SeriesPrefix(inst->name + "_bucket", inst->labels, le) +
+                 FormatInt(cumulative) + "\n";
+        }
+        out += SeriesPrefix(inst->name + "_sum", inst->labels) +
+               FormatDouble(h.Sum()) + "\n";
+        out += SeriesPrefix(inst->name + "_count", inst->labels) +
+               FormatInt(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace uic

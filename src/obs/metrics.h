@@ -1,0 +1,227 @@
+// Process-global metrics registry with lock-cheap instruments.
+//
+// Three instrument kinds, mirroring the Prometheus data model:
+//
+//  - `Counter`: monotone event count. The hot path is one relaxed
+//    fetch_add on a thread-sharded cache line (same discipline as the
+//    failpoint fast path in common/failpoint.h): no lock, no contention
+//    between workers that stay on their shard.
+//  - `Gauge`: a settable signed level (queue depth, pool size).
+//  - `Histogram`: fixed, compile-time bucket boundaries so the text
+//    exposition is schema-deterministic — the set of series never depends
+//    on the values observed. Buckets are cumulative at exposition time,
+//    per the Prometheus `le` convention.
+//
+// Registration happens once per call site through the `UIC_METRIC_*`
+// macros below (enforced by lint rule UIC-L011); the registry hands back a
+// stable pointer that remains valid for the life of the process. Series
+// that carry wall-time values (histograms, `*_us_total` counters) are
+// flagged `timing` and are omitted from the exposition when the caller
+// gates timing off — the same `include_timing` contract the serve stats
+// verb uses to keep golden transcripts byte-identical.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace uic {
+namespace obs {
+
+/// Default latency boundaries (milliseconds), shared by every latency
+/// histogram so dashboards can compare like with like.
+inline constexpr double kDefaultLatencyBucketsMs[] = {
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+inline constexpr size_t kDefaultLatencyBucketCount =
+    sizeof(kDefaultLatencyBucketsMs) / sizeof(kDefaultLatencyBucketsMs[0]);
+
+/// \brief Monotone counter; one relaxed add per event on a per-thread shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Relaxed: concurrent readers see a value that is
+  /// monotone per shard but not a linearizable cross-shard snapshot.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  // Threads are spread round-robin over shards once, at first use, so the
+  // steady state is a single uncontended relaxed add.
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// \brief Signed level that can move both ways (queue depth, lease count).
+class Gauge {
+ public:
+  void Set(long long v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(long long n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(long long n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  long long Value() const { return v_.load(std::memory_order_relaxed); }
+
+  /// Raise the gauge to `v` if it is below it (high-water marks).
+  void SetMax(long long v) {
+    long long cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// \brief Fixed-boundary histogram. Boundaries must outlive the histogram
+/// (the macros pass `kDefaultLatencyBucketsMs`, which is static).
+class Histogram {
+ public:
+  Histogram(const double* bounds, size_t bound_count);
+
+  void Observe(double value) {
+    size_t i = 0;
+    while (i < bound_count_ && value > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  size_t bound_count() const { return bound_count_; }
+  const double* bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket `i` (i == bound_count() is +Inf).
+  uint64_t BucketValue(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double* bounds_;
+  size_t bound_count_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bound_count_ + 1 (+Inf)
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Owns every instrument; writes the Prometheus-style exposition.
+///
+/// `Global()` is the process-wide instance every `UIC_METRIC_*` site
+/// registers against. The class stays instantiable so tests can pin the
+/// exposition format against a registry whose contents they fully control.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// Each Register* call is idempotent on (name, labels): a second call
+  /// with the same identity returns the existing instrument (and must ask
+  /// for the same kind). `labels` is a pre-rendered Prometheus label body,
+  /// e.g. `verb="solve"`, or "" for an unlabelled series.
+  Counter* RegisterCounter(const std::string& name, const std::string& labels,
+                           const std::string& help, bool timing = false);
+  Gauge* RegisterGauge(const std::string& name, const std::string& labels,
+                       const std::string& help);
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& labels,
+                               const std::string& help, const double* bounds,
+                               size_t bound_count, bool timing = true);
+
+  /// Prometheus text exposition: `# HELP` / `# TYPE` once per family, then
+  /// one line per series, families sorted by name and series by label
+  /// string — byte-deterministic for a fixed set of registered
+  /// instruments. Series flagged `timing` are omitted unless
+  /// `include_timing` (so transcripts pinned with timing off never see
+  /// wall-clock-dependent values).
+  std::string ExpositionText(bool include_timing) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::string help;
+    bool timing = false;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* FindLocked(const std::string& name, const std::string& labels)
+      UIC_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // Instruments are append-only and never freed, so the pointers handed to
+  // call sites stay valid without further locking.
+  std::vector<std::unique_ptr<Instrument>> instruments_ UIC_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace uic
+
+// Registration macros — the only sanctioned way to mint an instrument
+// (lint rule UIC-L011 flags direct Register* calls outside src/obs/). Each
+// expands to a function-local static, so registration runs once per site
+// and the hot path is a single pointer deref + relaxed atomic op.
+//
+//   UIC_METRIC_COUNTER(c, "uic_net_bytes_read_total", "Bytes read");
+//   c.Add(n);
+#define UIC_METRIC_COUNTER(var, metric_name, metric_help)                  \
+  static ::uic::obs::Counter& var =                                        \
+      *::uic::obs::MetricsRegistry::Global().RegisterCounter(              \
+          metric_name, "", metric_help, false)
+
+#define UIC_METRIC_COUNTER_LABELED(var, metric_name, metric_labels,        \
+                                   metric_help)                            \
+  static ::uic::obs::Counter& var =                                        \
+      *::uic::obs::MetricsRegistry::Global().RegisterCounter(              \
+          metric_name, metric_labels, metric_help, false)
+
+// Timing-valued counter (e.g. a `*_us_total` wall-time sum): exported only
+// when the exposition is asked to include timing.
+#define UIC_METRIC_TIMING_COUNTER(var, metric_name, metric_labels,         \
+                                  metric_help)                             \
+  static ::uic::obs::Counter& var =                                        \
+      *::uic::obs::MetricsRegistry::Global().RegisterCounter(              \
+          metric_name, metric_labels, metric_help, true)
+
+#define UIC_METRIC_GAUGE(var, metric_name, metric_help)                    \
+  static ::uic::obs::Gauge& var =                                          \
+      *::uic::obs::MetricsRegistry::Global().RegisterGauge(metric_name,    \
+                                                           "", metric_help)
+
+// Latency histogram in milliseconds over the shared default boundaries;
+// always timing-gated.
+#define UIC_METRIC_HISTOGRAM_MS(var, metric_name, metric_labels,           \
+                                metric_help)                               \
+  static ::uic::obs::Histogram& var =                                      \
+      *::uic::obs::MetricsRegistry::Global().RegisterHistogram(            \
+          metric_name, metric_labels, metric_help,                         \
+          ::uic::obs::kDefaultLatencyBucketsMs,                            \
+          ::uic::obs::kDefaultLatencyBucketCount, true)

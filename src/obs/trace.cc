@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace uic {
+namespace obs {
+
+namespace internal {
+
+std::atomic<int> g_trace_enabled{0};
+
+struct SpanNode {
+  const char* name;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  SpanNode* parent = nullptr;
+  std::vector<std::pair<const char*, long long>> attrs;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+namespace {
+
+thread_local SpanNode* t_current_span = nullptr;
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendSigned(std::string* out, long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  *out += buf;
+}
+
+// Span names and attr keys are compile-time literals (identifier-style),
+// so no JSON string escaping is needed.
+void SerializeSpan(const SpanNode& node, std::string* out) {
+  *out += "{\"name\":\"";
+  *out += node.name;
+  *out += "\",\"start_us\":";
+  AppendUint(out, node.start_us);
+  *out += ",\"dur_us\":";
+  AppendUint(out, node.dur_us);
+  if (!node.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i != 0) *out += ',';
+      *out += '"';
+      *out += node.attrs[i].first;
+      *out += "\":";
+      AppendSigned(out, node.attrs[i].second);
+    }
+    *out += '}';
+  }
+  if (!node.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i != 0) *out += ',';
+      SerializeSpan(*node.children[i], out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+}  // namespace
+}  // namespace internal
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+bool TraceRecorder::EnableFile(const std::string& path) {
+  MutexLock lock(mu_);
+  if (file_ != nullptr || buffering_) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  file_ = f;
+  epoch_ns_ = internal::SteadyNowNs();
+  epoch_ns_relaxed_.store(epoch_ns_, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceRecorder::EnableBuffer() {
+  MutexLock lock(mu_);
+  if (file_ != nullptr || buffering_) return false;
+  buffering_ = true;
+  buffer_.clear();
+  epoch_ns_ = internal::SteadyNowNs();
+  epoch_ns_relaxed_.store(epoch_ns_, std::memory_order_relaxed);
+  internal::g_trace_enabled.store(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceRecorder::Disable() {
+  internal::g_trace_enabled.store(0, std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  buffering_ = false;
+}
+
+std::string TraceRecorder::TakeBuffered() {
+  MutexLock lock(mu_);
+  std::string out;
+  out.swap(buffer_);
+  return out;
+}
+
+void TraceRecorder::EmitLine(const std::string& line) {
+  MutexLock lock(mu_);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  } else if (buffering_) {
+    buffer_ += line;
+    buffer_ += '\n';
+  }
+}
+
+uint64_t TraceRecorder::NowRelativeUs() const {
+  const uint64_t epoch = epoch_ns_relaxed_.load(std::memory_order_relaxed);
+  const uint64_t now = internal::SteadyNowNs();
+  return now > epoch ? (now - epoch) / 1000 : 0;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!TraceRecorder::Enabled()) return;
+  auto* node = new internal::SpanNode();
+  node->name = name;
+  node->start_us = TraceRecorder::Global().NowRelativeUs();
+  node->parent = internal::t_current_span;
+  internal::t_current_span = node;
+  node_ = node;
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  internal::SpanNode* node = node_;
+  const uint64_t end_us = TraceRecorder::Global().NowRelativeUs();
+  node->dur_us = end_us > node->start_us ? end_us - node->start_us : 0;
+  internal::t_current_span = node->parent;
+  if (node->parent != nullptr) {
+    node->parent->children.emplace_back(node);
+    return;
+  }
+  std::unique_ptr<internal::SpanNode> root(node);
+  if (!TraceRecorder::Enabled()) return;  // sink closed mid-span: drop
+  std::string line;
+  internal::SerializeSpan(*root, &line);
+  TraceRecorder::Global().EmitLine(line);
+}
+
+void TraceSpan::SetAttr(const char* key, long long value) {
+  if (node_ == nullptr) return;
+  node_->attrs.emplace_back(key, value);
+}
+
+}  // namespace obs
+}  // namespace uic

@@ -1,0 +1,97 @@
+// TraceSpan: RAII scope recorder emitting per-request JSONL span trees.
+//
+// Off by default. The off path is one relaxed atomic load (the failpoint
+// fast-path discipline), so spans can be left in hot request paths
+// unconditionally. When a sink is enabled, each thread builds its span
+// tree locally via a thread_local current-span pointer; only the root
+// span's destructor takes the recorder lock, to append one serialized
+// JSONL line:
+//
+//   {"name":"serve.solve","start_us":12,"dur_us":3400,
+//    "attrs":{"verb":1},"children":[{...},...]}
+//
+// `start_us` is measured on the steady clock relative to the moment the
+// recorder was enabled — no wall-clock reads, per the determinism contract
+// (traces are diagnostic output and never feed back into results).
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace uic {
+namespace obs {
+
+namespace internal {
+extern std::atomic<int> g_trace_enabled;
+struct SpanNode;
+}  // namespace internal
+
+/// \brief Process-global trace sink. Enable exactly one sink at a time;
+/// spans opened while disabled are free and record nothing.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Route finished root spans to `path` (truncates). False if the file
+  /// cannot be opened or a sink is already enabled.
+  bool EnableFile(const std::string& path);
+
+  /// Route finished root spans to an in-memory buffer (tests).
+  /// False if a sink is already enabled.
+  bool EnableBuffer();
+
+  /// Stop recording and flush/close the sink. Spans still open keep
+  /// building their trees but are dropped at root completion.
+  void Disable();
+
+  static bool Enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Drain the in-memory buffer (valid with the buffer sink; also after
+  /// Disable so tests can read what a finished session recorded).
+  std::string TakeBuffered();
+
+ private:
+  friend struct internal::SpanNode;
+  TraceRecorder() = default;
+  void EmitLine(const std::string& line);
+  uint64_t NowRelativeUs() const;
+
+  mutable Mutex mu_;
+  std::FILE* file_ UIC_GUARDED_BY(mu_) = nullptr;
+  bool buffering_ UIC_GUARDED_BY(mu_) = false;
+  std::string buffer_ UIC_GUARDED_BY(mu_);
+  uint64_t epoch_ns_ UIC_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> epoch_ns_relaxed_{0};  // read on span open, no lock
+
+  friend class TraceSpan;
+};
+
+/// \brief RAII span. Construct at scope entry; destruction closes the span
+/// and, for root spans, serializes the finished tree to the sink.
+///
+/// Spans nest per thread: a span opened while another is live on the same
+/// thread becomes its child. Do not carry a span across threads.
+class TraceSpan {
+ public:
+  /// `name` must be a string literal (stored by pointer).
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach an integer attribute; `key` must be a string literal.
+  /// No-op when tracing is off.
+  void SetAttr(const char* key, long long value);
+
+ private:
+  internal::SpanNode* node_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace uic

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uic {
 
@@ -31,6 +33,7 @@ ImResult Prima(const Graph& graph, const std::vector<uint32_t>& budgets_in,
       ell_boosted + std::log(static_cast<double>(budgets.size())) / std::log(n);
   const double eps_prime = std::sqrt(2.0) * eps;
 
+  obs::TraceSpan phases_span("solver.prima");
   WallTimer sampling_timer;
   double sampling_seconds = 0.0;
   double selection_seconds = 0.0;
@@ -116,6 +119,22 @@ ImResult Prima(const Graph& graph, const std::vector<uint32_t>& budgets_in,
   result.total_rr_nodes = pool.TotalNodes();
   result.sampling_seconds = sampling_seconds;
   result.selection_seconds = selection_seconds;
+
+  // One phase-time record per Prima run (the phases interleave across
+  // rounds, so the accumulated sums are the per-phase truth).
+  UIC_METRIC_TIMING_COUNTER(generate_us, "uic_solver_phase_us_total",
+                            "phase=\"generate\"",
+                            "Wall time per solve phase, microseconds.");
+  UIC_METRIC_TIMING_COUNTER(select_us, "uic_solver_phase_us_total",
+                            "phase=\"select\"",
+                            "Wall time per solve phase, microseconds.");
+  generate_us.Add(static_cast<uint64_t>(sampling_seconds * 1e6));
+  select_us.Add(static_cast<uint64_t>(selection_seconds * 1e6));
+  phases_span.SetAttr("generate_us",
+                      static_cast<long long>(sampling_seconds * 1e6));
+  phases_span.SetAttr("select_us",
+                      static_cast<long long>(selection_seconds * 1e6));
+  phases_span.SetAttr("rr_sets", static_cast<long long>(pool.size()));
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "rrset/rr_stream_cache.h"
 
 namespace uic {
@@ -287,9 +288,11 @@ void RrCollection::GenerateFresh(size_t first, size_t target) {
   std::array<const NodeId*, kRrStreams> base{};
   std::array<size_t, kRrStreams> off{};
   std::array<size_t, kRrStreams> idx{};
+  uint64_t edges_round = 0;
   for (unsigned s = 0; s < kRrStreams; ++s) {
     StreamOut& out = outs[s];
     edges_examined_ += out.edges;
+    edges_round += out.edges;
     total_nodes_ += out.nodes.size();
     stream_pos_[s] += out.sizes.size();
     if (!out.nodes.empty()) {
@@ -303,6 +306,14 @@ void RrCollection::GenerateFresh(size_t first, size_t target) {
     sets_.push_back(SetRef{base[s] + off[s], sz});
     off[s] += sz;
   }
+  // One batched add per growth round (not per set) keeps the instrument
+  // cost off the sampling hot path.
+  UIC_METRIC_COUNTER(rr_sets, "uic_rr_sets_sampled_total",
+                     "RR sets freshly sampled (cold path + cache fills).");
+  rr_sets.Add(target - first);
+  UIC_METRIC_COUNTER(rr_edges, "uic_rr_edges_examined_total",
+                     "Edges examined by the RR sampling kernels.");
+  rr_edges.Add(edges_round);
 }
 
 void RrCollection::GenerateFromCache(size_t first, size_t target) {
@@ -339,6 +350,9 @@ void RrCollection::GenerateFromCache(size_t first, size_t target) {
   }
   for (unsigned s = 0; s < kRrStreams; ++s) stream_pos_[s] += taken[s];
   cache_->served_sets_ += target - first;
+  UIC_METRIC_COUNTER(rr_served, "uic_rr_cache_sets_served_total",
+                     "RR sets served by warm-cache stream replay.");
+  rr_served.Add(target - first);
 }
 
 void RrCollection::ExtendIndex(size_t first_new) {
@@ -420,6 +434,9 @@ void RrCollection::ExtendIndex(size_t first_new) {
 
 void RrCollection::MergeIndexTail(size_t first) {
   if (index_.size() - first <= 1) return;
+  UIC_METRIC_COUNTER(rr_merges, "uic_rr_index_merges_total",
+                     "Coverage-index delta merges (tiered merging).");
+  rr_merges.Add();
   const size_t n = graph_.num_nodes();
   const size_t num_deltas = index_.size();
   IndexDelta merged;

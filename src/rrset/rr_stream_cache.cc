@@ -1,6 +1,7 @@
 #include "rrset/rr_stream_cache.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace uic {
 
@@ -127,6 +128,14 @@ void RrStreamCache::EnsureSamples(Entry* entry, unsigned s, size_t count) {
   }
   sampled_sets_.fetch_add(need, std::memory_order_relaxed);
   sampled_nodes_.fetch_add(nodes.size(), std::memory_order_relaxed);
+  uint64_t edges_total = 0;
+  for (const Meta& m : metas) edges_total += m.edges;
+  UIC_METRIC_COUNTER(rr_sets, "uic_rr_sets_sampled_total",
+                     "RR sets freshly sampled (cold path + cache fills).");
+  rr_sets.Add(need);
+  UIC_METRIC_COUNTER(rr_edges, "uic_rr_edges_examined_total",
+                     "Edges examined by the RR sampling kernels.");
+  rr_edges.Add(edges_total);
   stream.arenas.push_back(std::move(nodes));
   const NodeId* base = stream.arenas.back().data();
   stream.samples.reserve(count);

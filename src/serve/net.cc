@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace uic {
 namespace serve {
@@ -103,6 +104,9 @@ bool FdLineChannel::ReadLine(std::string* line,
       eof_ = true;
       continue;
     }
+    UIC_METRIC_COUNTER(bytes_read, "uic_net_bytes_read_total",
+                       "Bytes read from line channels.");
+    bytes_read.Add(static_cast<uint64_t>(n));
     buffer_.append(chunk, static_cast<size_t>(n));
   }
 }
@@ -110,6 +114,14 @@ bool FdLineChannel::ReadLine(std::string* line,
 bool FdLineChannel::WriteLine(const std::string& line) {
   std::string framed = line;
   framed.push_back('\n');
+  return WriteAll(framed);
+}
+
+bool FdLineChannel::WriteRaw(const std::string& data) {
+  return WriteAll(data);
+}
+
+bool FdLineChannel::WriteAll(const std::string& framed) {
   size_t off = 0;
   while (off < framed.size()) {
     size_t want = framed.size() - off;
@@ -133,6 +145,9 @@ bool FdLineChannel::WriteLine(const std::string& line) {
       if (errno == EINTR) continue;
       return false;
     }
+    UIC_METRIC_COUNTER(bytes_written, "uic_net_bytes_written_total",
+                       "Bytes written to line channels.");
+    bytes_written.Add(static_cast<uint64_t>(n));
     off += static_cast<size_t>(n);
   }
   return true;
@@ -239,6 +254,9 @@ Result<TcpConnection> TcpListener::Accept(const std::atomic<bool>& stop) {
       }
       return Status::IOError(std::string("accept: ") + strerror(errno));
     }
+    UIC_METRIC_COUNTER(accepted, "uic_net_connections_accepted_total",
+                       "TCP connections accepted (serve + metrics ports).");
+    accepted.Add();
     return TcpConnection(fd);
   }
 }

@@ -42,7 +42,13 @@ class FdLineChannel {
   /// (e.g. the peer is gone).
   bool WriteLine(const std::string& line);
 
+  /// Write `data` exactly as given (no framing) — the metrics HTTP
+  /// responder's path, which needs CRLF headers rather than line framing.
+  bool WriteRaw(const std::string& data);
+
  private:
+  bool WriteAll(const std::string& data);
+
   int read_fd_;
   int write_fd_;
   bool socket_fds_;

@@ -5,9 +5,42 @@
 
 #include "common/failpoint.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace uic {
 namespace serve {
+
+namespace {
+
+// Registry mirrors of the controller's own tallies (which feed the stats
+// verb): the gauges track live queue/slot occupancy, the counters the
+// rejection reasons. Updated under mu_, so one mirror per event.
+struct AdmissionInstruments {
+  obs::Gauge& queue_depth;
+  obs::Gauge& running;
+  obs::Counter& admitted;
+  obs::Counter& shed;
+  obs::Counter& deadline_exceeded;
+};
+
+AdmissionInstruments& AdmissionMetrics() {
+  UIC_METRIC_GAUGE(queue_depth, "uic_serve_queue_depth",
+                   "Requests waiting for an admission slot right now.");
+  UIC_METRIC_GAUGE(running, "uic_serve_running",
+                   "Requests holding an admission slot right now.");
+  UIC_METRIC_COUNTER(admitted, "uic_serve_admitted_total",
+                     "Requests granted an admission slot.");
+  UIC_METRIC_COUNTER(shed, "uic_serve_shed_total",
+                     "Requests shed because the admission queue was full.");
+  UIC_METRIC_COUNTER(
+      deadline_exceeded, "uic_serve_queue_deadline_exceeded_total",
+      "Requests whose deadline_ms expired while they were queued.");
+  static AdmissionInstruments instruments{queue_depth, running, admitted,
+                                          shed, deadline_exceeded};
+  return instruments;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(Options options)
     : options_(options) {}
@@ -20,23 +53,28 @@ AdmissionController::Decision AdmissionController::Admit(double deadline_ms,
   // server. Evaluated before the lock: a delay must never hold mu_.
   const failpoint::Hit fp = UIC_FAILPOINT("serve.scheduler.admit");
   failpoint::SleepFor(fp);
+  AdmissionInstruments& metrics = AdmissionMetrics();
   MutexLock lock(mu_);
   if (fp.action == failpoint::Action::kError) {
     ++shed_;
+    metrics.shed.Add();
     return Decision::kShed;
   }
   if (draining_) return Decision::kDraining;
   if (waiting_.size() >= options_.queue_capacity) {
     ++shed_;
+    metrics.shed.Add();
     return Decision::kShed;
   }
   const uint64_t ticket = next_ticket_++;
   waiting_.push_back(ticket);
   max_queue_depth_ = std::max(max_queue_depth_, waiting_.size());
+  metrics.queue_depth.Set(static_cast<long long>(waiting_.size()));
 
   while (true) {
     if (draining_) {
       waiting_.erase(std::find(waiting_.begin(), waiting_.end(), ticket));
+      metrics.queue_depth.Set(static_cast<long long>(waiting_.size()));
       wake_.NotifyAll();
       return Decision::kDraining;
     }
@@ -44,6 +82,9 @@ AdmissionController::Decision AdmissionController::Admit(double deadline_ms,
       waiting_.erase(waiting_.begin());
       ++running_;
       ++admitted_;
+      metrics.queue_depth.Set(static_cast<long long>(waiting_.size()));
+      metrics.running.Set(static_cast<long long>(running_));
+      metrics.admitted.Add();
       if (queued_ms != nullptr) *queued_ms = timer.ElapsedMillis();
       return Decision::kAdmitted;
     }
@@ -51,9 +92,11 @@ AdmissionController::Decision AdmissionController::Admit(double deadline_ms,
       const double remaining_ms = deadline_ms - timer.ElapsedMillis();
       if (remaining_ms <= 0.0) {
         ++deadline_exceeded_;
+        metrics.deadline_exceeded.Add();
         // Removing a non-head ticket can promote the next waiter to head
         // while a slot is free; wake everyone to re-check.
         waiting_.erase(std::find(waiting_.begin(), waiting_.end(), ticket));
+        metrics.queue_depth.Set(static_cast<long long>(waiting_.size()));
         wake_.NotifyAll();
         return Decision::kDeadlineExceeded;
       }
@@ -69,6 +112,7 @@ AdmissionController::Decision AdmissionController::Admit(double deadline_ms,
 void AdmissionController::Release() {
   MutexLock lock(mu_);
   --running_;
+  AdmissionMetrics().running.Set(static_cast<long long>(running_));
   wake_.NotifyAll();
 }
 

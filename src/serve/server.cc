@@ -11,12 +11,105 @@
 #include "diffusion/lt_model.h"
 #include "diffusion/uic_model.h"
 #include "items/itemset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/registry.h"
 
 namespace uic {
 namespace serve {
 
 namespace {
+
+/// The request-accounting instruments the stats verb reads. Bundled so the
+/// Server constructor can snapshot all four baselines from one place.
+struct RequestInstruments {
+  obs::Counter& ok;
+  obs::Counter& errors;
+  obs::Counter& solves;
+  obs::Histogram& solve_latency_ms;
+};
+
+RequestInstruments& RequestAccounting() {
+  UIC_METRIC_COUNTER_LABELED(
+      ok, "uic_serve_requests_total", "status=\"ok\"",
+      "Requests answered, by final response status.");
+  UIC_METRIC_COUNTER_LABELED(
+      errors, "uic_serve_requests_total", "status=\"error\"",
+      "Requests answered, by final response status.");
+  UIC_METRIC_COUNTER(
+      solves, "uic_serve_solves_total",
+      "Solve requests answered ok (deadline-exceeded solves are errors).");
+  UIC_METRIC_HISTOGRAM_MS(
+      solve_latency_ms, "uic_serve_solve_latency_ms", "",
+      "Solver wall time per ok solve response, milliseconds.");
+  static RequestInstruments instruments{ok, errors, solves,
+                                        solve_latency_ms};
+  return instruments;
+}
+
+/// Per-verb completion counter. The roster is closed (unknown verbs fall
+/// into one bucket), so every series exists from first use with a literal
+/// label — the exposition schema never depends on client input.
+void AccountVerb(const std::string& verb) {
+  UIC_METRIC_COUNTER_LABELED(c_ping, "uic_serve_verb_requests_total",
+                             "verb=\"ping\"", "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_stats, "uic_serve_verb_requests_total",
+                             "verb=\"stats\"", "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_metrics, "uic_serve_verb_requests_total",
+                             "verb=\"metrics\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_shutdown, "uic_serve_verb_requests_total",
+                             "verb=\"shutdown\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_set_failpoints,
+                             "uic_serve_verb_requests_total",
+                             "verb=\"set_failpoints\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_unload, "uic_serve_verb_requests_total",
+                             "verb=\"unload\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_load_graph, "uic_serve_verb_requests_total",
+                             "verb=\"load_graph\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_load_params, "uic_serve_verb_requests_total",
+                             "verb=\"load_params\"",
+                             "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_solve, "uic_serve_verb_requests_total",
+                             "verb=\"solve\"", "Requests answered, by verb.");
+  UIC_METRIC_COUNTER_LABELED(c_other, "uic_serve_verb_requests_total",
+                             "verb=\"other\"", "Requests answered, by verb.");
+  if (verb == "solve") {
+    c_solve.Add();
+  } else if (verb == "ping") {
+    c_ping.Add();
+  } else if (verb == "stats") {
+    c_stats.Add();
+  } else if (verb == "metrics") {
+    c_metrics.Add();
+  } else if (verb == "load_graph") {
+    c_load_graph.Add();
+  } else if (verb == "load_params") {
+    c_load_params.Add();
+  } else if (verb == "unload") {
+    c_unload.Add();
+  } else if (verb == "shutdown") {
+    c_shutdown.Add();
+  } else if (verb == "set_failpoints") {
+    c_set_failpoints.Add();
+  } else {
+    c_other.Add();
+  }
+}
+
+/// One accounting path for every answered request (including lines that
+/// fail to parse, recorded under verb "other"). The ok/error tally is
+/// recorded before the solve tally at its call site, so `solves <= ok`
+/// holds whenever the instance is quiesced.
+void AccountRequest(const std::string& verb, bool ok) {
+  RequestInstruments& m = RequestAccounting();
+  (ok ? m.ok : m.errors).Add();
+  AccountVerb(verb);
+}
 
 std::string GetStringField(const Json& body, const char* key,
                            const std::string& def = "") {
@@ -83,7 +176,16 @@ Server::Server(ServerOptions options, std::atomic<bool>* stop)
       stop_(stop != nullptr ? stop : &own_stop_),
       sessions_(options.max_graphs, options.max_params),
       warm_(options.warm_entries),
-      admission_({options.concurrency, options.queue_capacity}) {}
+      admission_({options.concurrency, options.queue_capacity}) {
+  // Snapshot the process-global tallies: Stats() reports this instance's
+  // deltas, so a fresh Server starts from zero like the old per-instance
+  // RequestCounters did.
+  const RequestInstruments& m = RequestAccounting();
+  base_solves_ = m.solves.Value();
+  base_ok_ = m.ok.Value();
+  base_errors_ = m.errors.Value();
+  base_solve_ms_ = m.solve_latency_ms.Sum();
+}
 
 void Server::BeginDrain() {
   stop_->store(true, std::memory_order_relaxed);
@@ -95,14 +197,37 @@ Json Server::Stats() const {
   out.Set("sessions", sessions_.Describe());
   out.Set("warm_cache", warm_.Describe());
   out.Set("admission", admission_.Describe());
-  out.Set("requests", counters_.Describe(options_.include_timing));
+
+  // The registry totals minus this instance's construction-time baseline,
+  // in the exact JSON shape the golden transcripts pin. Solves are read
+  // before ok so a concurrent solve's paired increments (ok first, solve
+  // second at the same site) can only be seen as ok-without-solve.
+  const RequestInstruments& m = RequestAccounting();
+  const uint64_t solves = m.solves.Value() - base_solves_;
+  const uint64_t ok = m.ok.Value() - base_ok_;
+  const uint64_t errors = m.errors.Value() - base_errors_;
+  Json requests = Json::Object();
+  requests.Set("requests", Json::Int(static_cast<long long>(ok + errors)));
+  requests.Set("ok", Json::Int(static_cast<long long>(ok)));
+  requests.Set("errors", Json::Int(static_cast<long long>(errors)));
+  requests.Set("solves", Json::Int(static_cast<long long>(solves)));
+  if (options_.include_timing) {
+    requests.Set("solve_ms_total",
+                 Json::Number(m.solve_latency_ms.Sum() - base_solve_ms_));
+  }
+  out.Set("requests", std::move(requests));
   return out;
+}
+
+std::string Server::MetricsText() const {
+  return obs::MetricsRegistry::Global().ExpositionText(
+      options_.include_timing);
 }
 
 std::string Server::HandleLine(const std::string& line) {
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
-    counters_.Record(false);
+    AccountRequest("", false);
     return ErrorResponse(Json::Null(), ErrorCode::kBadRequest,
                          parsed.status().message());
   }
@@ -117,30 +242,37 @@ std::string Server::HandleRequest(const Request& request) {
   const std::string& verb = request.verb;
 
   if (verb == "ping") {
-    counters_.Record(true);
+    AccountRequest(verb, true);
     Json result = Json::Object();
     result.Set("pong", Json::Bool(true));
     return OkResponse(id, result, Json::Null());
   }
   if (verb == "stats") {
-    counters_.Record(true);
+    AccountRequest(verb, true);
     return OkResponse(id, Stats(), Json::Null());
+  }
+  if (verb == "metrics") {
+    AccountRequest(verb, true);
+    Json result = Json::Object();
+    result.Set("format", Json::Str("prometheus-text"));
+    result.Set("text", Json::Str(MetricsText()));
+    return OkResponse(id, result, Json::Null());
   }
   if (verb == "shutdown") {
     BeginDrain();
-    counters_.Record(true);
+    AccountRequest(verb, true);
     Json result = Json::Object();
     result.Set("draining", Json::Bool(true));
     return OkResponse(id, result, Json::Null());
   }
   if (verb == "set_failpoints") {
     if (!options_.testing) {
-      counters_.Record(false);
+      AccountRequest(verb, false);
       return ErrorResponse(id, ErrorCode::kFailedPrecondition,
                            "set_failpoints requires a --testing daemon");
     }
     Result<Json> result = DoSetFailpoints(request.body);
-    counters_.Record(result.ok());
+    AccountRequest(verb, result.ok());
     if (!result.ok()) {
       return ErrorResponse(id, CodeFromStatus(result.status()),
                            result.status().message());
@@ -149,7 +281,7 @@ std::string Server::HandleRequest(const Request& request) {
   }
   if (verb == "unload") {
     Result<Json> result = DoUnload(request.body);
-    counters_.Record(result.ok());
+    AccountRequest(verb, result.ok());
     if (!result.ok()) {
       return ErrorResponse(id, CodeFromStatus(result.status()),
                            result.status().message());
@@ -159,17 +291,22 @@ std::string Server::HandleRequest(const Request& request) {
 
   if (verb == "load_graph" || verb == "load_params" || verb == "solve") {
     double queued_ms = 0.0;
-    switch (admission_.Admit(request.deadline_ms, &queued_ms)) {
+    AdmissionController::Decision decision;
+    {
+      obs::TraceSpan wait_span("serve.admission_wait");
+      decision = admission_.Admit(request.deadline_ms, &queued_ms);
+    }
+    switch (decision) {
       case AdmissionController::Decision::kShed:
-        counters_.Record(false);
+        AccountRequest(verb, false);
         return ErrorResponse(id, ErrorCode::kOverloaded,
                              "admission queue full; retry later");
       case AdmissionController::Decision::kDeadlineExceeded:
-        counters_.Record(false);
+        AccountRequest(verb, false);
         return ErrorResponse(id, ErrorCode::kDeadlineExceeded,
                              "request exceeded its deadline_ms while queued");
       case AdmissionController::Decision::kDraining:
-        counters_.Record(false);
+        AccountRequest(verb, false);
         return ErrorResponse(id, ErrorCode::kUnavailable,
                              "server is draining for shutdown");
       case AdmissionController::Decision::kAdmitted:
@@ -178,31 +315,40 @@ std::string Server::HandleRequest(const Request& request) {
     SlotGuard slot{&admission_};
 
     if (verb == "solve") {
+      obs::TraceSpan solve_span("serve.solve");
       // Post-admission site: error(...) exercises the typed internal
       // error path; delay_ms(n) pins a solve in flight (the SIGTERM-drain
       // and mid-solve-deadline tests) without touching solver code.
       const failpoint::Hit fp = UIC_FAILPOINT("serve.solve.admitted");
       if (fp.action == failpoint::Action::kError) {
-        counters_.Record(false);
+        AccountRequest(verb, false);
         return ErrorResponse(id, ErrorCode::kInternal,
                              "injected fault at serve.solve.admitted");
       }
       failpoint::SleepFor(fp);
       Json serve_info;
       Json partial;
+      double solve_ms = 0.0;
       Result<Json> result =
           DoSolve(request.body, queued_ms, request.deadline_ms,
-                  request_timer, &serve_info, &partial);
-      counters_.Record(result.ok());
+                  request_timer, &serve_info, &partial, &solve_ms);
+      // Single accounting site for the solve invariant: ok is recorded
+      // first, then the solve tally — and only for an ok response, so a
+      // deadline-exceeded solve counts as an error, never a solve.
+      AccountRequest(verb, result.ok());
+      solve_span.SetAttr("ok", result.ok() ? 1 : 0);
       if (!result.ok()) {
         return ErrorResponse(id, CodeFromStatus(result.status()),
                              result.status().message(), partial);
       }
+      RequestInstruments& m = RequestAccounting();
+      m.solves.Add();
+      m.solve_latency_ms.Observe(solve_ms);
       return OkResponse(id, result.value(), serve_info);
     }
     Result<Json> result = verb == "load_graph" ? DoLoadGraph(request.body)
                                                : DoLoadParams(request.body);
-    counters_.Record(result.ok());
+    AccountRequest(verb, result.ok());
     if (!result.ok()) {
       // The registry caps are admission control: a full registry sheds
       // the load (kOverloaded) rather than reporting a client mistake.
@@ -215,7 +361,7 @@ std::string Server::HandleRequest(const Request& request) {
     return OkResponse(id, result.value(), Json::Null());
   }
 
-  counters_.Record(false);
+  AccountRequest(verb, false);
   return ErrorResponse(id, ErrorCode::kBadRequest,
                        "unknown verb '" + verb + "'");
 }
@@ -306,7 +452,8 @@ Result<Json> Server::DoSetFailpoints(const Json& body) {
 Result<Json> Server::DoSolve(const Json& body, double queued_ms,
                              double deadline_ms,
                              const WallTimer& request_timer,
-                             Json* serve_info, Json* partial) {
+                             Json* serve_info, Json* partial,
+                             double* solve_ms_out) {
   const std::string graph_name = GetStringField(body, "graph");
   if (graph_name.empty()) {
     return Status::InvalidArgument("solve needs a 'graph' session name");
@@ -386,6 +533,7 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
   RrStreamCache* cache = &cold_cache;
   bool warm_hit = false;
   if (warm) {
+    obs::TraceSpan acquire_span("serve.warm_acquire");
     WarmKey key;
     key.generation = graph.generation;
     key.seed = options.seed;
@@ -393,6 +541,7 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
     lease = warm_.Acquire(key, graph.graph);
     cache = lease.cache();
     warm_hit = lease.hit();
+    acquire_span.SetAttr("hit", warm_hit ? 1 : 0);
   }
   const RrStreamCache::Stats before = cache->stats();
   options.rr_options.stream_cache = cache;
@@ -401,8 +550,12 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
   Result<std::unique_ptr<Solver>> solver =
       SolverRegistry::CreateOrError(algorithm, options);
   if (!solver.ok()) return solver.status();
-  Result<AllocationResult> solved = solver.value()->Solve(problem);
+  Result<AllocationResult> solved = [&] {
+    obs::TraceSpan solver_span("solver.solve");
+    return solver.value()->Solve(problem);
+  }();
   const double solve_ms = timer.ElapsedMillis();
+  *solve_ms_out = solve_ms;
   const RrStreamCache::Stats after = cache->stats();
   // Hand the pool back before the (cache-independent) welfare evaluation
   // so a same-key request can start solving during our eval.
@@ -443,6 +596,11 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
                  allocation_result.num_rr_sets)));
   result.Set("objective", Json::Number(allocation_result.objective));
   if (problem.params.has_value() && eval_sims.value() > 0) {
+    obs::TraceSpan estimate_span("serve.estimate");
+    UIC_METRIC_TIMING_COUNTER(
+        estimate_us, "uic_solver_phase_us_total", "phase=\"estimate\"",
+        "Wall time per solve phase, microseconds.");
+    WallTimer estimate_timer;
     const WelfareEstimate estimate =
         lt ? EstimateWelfareLt(*problem.graph,
                                allocation_result.allocation,
@@ -453,6 +611,8 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
                              *problem.params,
                              static_cast<size_t>(eval_sims.value()),
                              static_cast<uint64_t>(eval_seed.value()));
+    estimate_us.Add(
+        static_cast<uint64_t>(estimate_timer.ElapsedMillis() * 1000.0));
     Json welfare = Json::Object();
     welfare.Set("welfare", Json::Number(estimate.welfare));
     welfare.Set("std_error", Json::Number(estimate.std_error));
@@ -463,7 +623,6 @@ Result<Json> Server::DoSolve(const Json& body, double queued_ms,
     // eval_sims is large, so re-check before shipping the result.
     if (deadline_expired()) return deadline_status();
   }
-  counters_.RecordSolve(solve_ms);
 
   *serve_info = Json::Object();
   serve_info->Set("warm", Json::Bool(warm));
@@ -541,6 +700,30 @@ Status Server::ServeTcp(TcpListener& listener) {
   BeginDrain();
   for (auto& w : workers) w.thread->Join();
   admission_.AwaitIdle();
+  return Status::OK();
+}
+
+Status Server::ServeMetricsHttp(TcpListener& listener) {
+  while (!stopping()) {
+    Result<TcpConnection> accepted = listener.Accept(*stop_);
+    if (!accepted.ok()) return accepted.status();
+    if (!accepted.value().valid()) break;  // stop flag fired
+    TcpConnection connection = accepted.MoveValue();
+    FdLineChannel channel(connection.fd(), connection.fd(),
+                          /*socket_fds=*/true);
+    // Consume the request line before answering so a well-behaved HTTP
+    // client does not race our close against its own send; clients that
+    // half-close without sending anything get the body anyway.
+    std::string request_line;
+    (void)channel.ReadLine(&request_line, stop_);
+    const std::string body = MetricsText();
+    std::string response = "HTTP/1.0 200 OK\r\n";
+    response += "Content-Type: text/plain; version=0.0.4\r\n";
+    response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += body;
+    (void)channel.WriteRaw(response);  // peer gone: just move on
+  }
   return Status::OK();
 }
 

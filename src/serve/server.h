@@ -13,6 +13,8 @@
 //   unload      {"graph":name} or {"params":name} — dropping a graph also
 //               drops its warm-cache entries (by generation)
 //   stats       registry + warm pool + scheduler + request counters
+//   metrics     process-global metric exposition (obs/metrics.h) as one
+//               text blob; timing-valued series only with include_timing
 //   shutdown    begin drain; in-flight requests finish, readers stop
 //   set_failpoints  {"failpoints":{"name":"policy",...}} — arm/disarm
 //               fault injection (common/failpoint.h grammar). Only
@@ -44,7 +46,6 @@
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "serve/session.h"
-#include "serve/stats.h"
 #include "serve/warm_cache.h"
 
 namespace uic {
@@ -93,6 +94,16 @@ class Server {
   /// The `stats` verb's payload (also handy for tests).
   Json Stats() const;
 
+  /// The `metrics` verb's payload: the process-global registry's text
+  /// exposition (timing series included per ServerOptions::include_timing).
+  std::string MetricsText() const;
+
+  /// Minimal HTTP/1.0 responder for `uic_served --metrics-port`: accepts
+  /// connections on `listener` until the stop flag, answering each with
+  /// one text exposition and closing. All socket I/O goes through the
+  /// net.h primitives.
+  [[nodiscard]] Status ServeMetricsHttp(TcpListener& listener);
+
  private:
   std::string HandleRequest(const Request& request);
   [[nodiscard]] Result<Json> DoLoadGraph(const Json& body);
@@ -104,7 +115,8 @@ class Server {
   [[nodiscard]] Result<Json> DoSolve(const Json& body, double queued_ms,
                                      double deadline_ms,
                                      const WallTimer& request_timer,
-                                     Json* serve_info, Json* partial);
+                                     Json* serve_info, Json* partial,
+                                     double* solve_ms_out);
   [[nodiscard]] Result<Json> DoUnload(const Json& body);
   [[nodiscard]] Result<Json> DoSetFailpoints(const Json& body);
 
@@ -115,7 +127,20 @@ class Server {
   SessionRegistry sessions_;
   WarmPool warm_;
   AdmissionController admission_;
-  RequestCounters counters_;
+
+  // Request accounting lives on the process-global obs::MetricsRegistry
+  // (one accounting path for the stats verb, the metrics verb, and the
+  // exposition endpoint). Each Server snapshots the registry totals at
+  // construction so Stats() reports per-instance deltas — the shape the
+  // golden transcripts pin. Invariants over a quiesced instance:
+  //   requests == ok + errors, and solves <= ok
+  // (a solve that exceeds its deadline mid-solve is an error, not a
+  // solve — both tallies are recorded at the same call site, fixing the
+  // old RequestCounters drift where RecordSolve counted deadline'd work).
+  uint64_t base_ok_ = 0;
+  uint64_t base_errors_ = 0;
+  uint64_t base_solves_ = 0;
+  double base_solve_ms_ = 0.0;
 };
 
 }  // namespace serve

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace uic {
 namespace serve {
@@ -55,6 +56,9 @@ WarmLease WarmPool::Acquire(const WarmKey& key,
       found->leased = true;
       found->last_used = ++tick_;
       ++hits_;
+      UIC_METRIC_COUNTER(warm_hits, "uic_serve_warm_hits_total",
+                         "Warm-pool acquires that reused a cached entry.");
+      warm_hits.Add();
       WarmLease lease;
       lease.pool_ = this;
       lease.entry_id_ = found->id;
@@ -83,6 +87,9 @@ WarmLease WarmPool::Acquire(const WarmKey& key,
     if (victim < entries_.size()) {
       RetireEntry(victim);
       ++evictions_;
+      UIC_METRIC_COUNTER(warm_evictions, "uic_serve_warm_evictions_total",
+                         "Warm-pool entries evicted to make room.");
+      warm_evictions.Add();
     }
   }
 
@@ -94,6 +101,9 @@ WarmLease WarmPool::Acquire(const WarmKey& key,
   entry->leased = true;
   entry->last_used = ++tick_;
   ++misses_;
+  UIC_METRIC_COUNTER(warm_misses, "uic_serve_warm_misses_total",
+                     "Warm-pool acquires that had to build a new entry.");
+  warm_misses.Add();
   WarmLease lease;
   lease.pool_ = this;
   lease.entry_id_ = entry->id;

@@ -1,0 +1,271 @@
+// Tests for the observability layer (src/obs/): the exposition format is
+// pinned byte-for-byte against a registry the test fully controls, the
+// timing gate keeps wall-clock series out of golden-mode output,
+// instruments survive concurrent writers (TSan coverage), and TraceSpan
+// trees nest and serialize as documented.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "serve/json.h"
+
+namespace uic {
+namespace obs {
+namespace {
+
+// --- exposition format -------------------------------------------------
+
+/// A registry populated with one family of each kind, values chosen so
+/// every formatting branch (labels, negative gauge, cumulative buckets,
+/// fractional sum) appears in the output.
+void PopulateSample(MetricsRegistry* registry) {
+  static const double kBounds[] = {1, 5};
+  registry->RegisterCounter("app_events_total", "kind=\"a\"", "Events.")
+      ->Add(3);
+  registry->RegisterCounter("app_events_total", "kind=\"b\"", "Events.")
+      ->Add(1);
+  registry->RegisterGauge("app_depth", "", "Depth.")->Set(-2);
+  Histogram* h = registry->RegisterHistogram("app_latency_ms", "", "Latency.",
+                                             kBounds, 2, /*timing=*/true);
+  h->Observe(0.5);
+  h->Observe(1.0);  // `le` is inclusive: lands in the le="1" bucket.
+  h->Observe(3.0);
+  h->Observe(10.0);
+  registry->RegisterCounter("app_phase_us_total", "phase=\"x\"",
+                            "Wall time.", /*timing=*/true)
+      ->Add(42);
+}
+
+TEST(ObsMetrics, ExpositionWithTimingOffOmitsWallClockSeries) {
+  MetricsRegistry registry;
+  PopulateSample(&registry);
+  EXPECT_EQ(registry.ExpositionText(/*include_timing=*/false),
+            "# HELP app_depth Depth.\n"
+            "# TYPE app_depth gauge\n"
+            "app_depth -2\n"
+            "# HELP app_events_total Events.\n"
+            "# TYPE app_events_total counter\n"
+            "app_events_total{kind=\"a\"} 3\n"
+            "app_events_total{kind=\"b\"} 1\n");
+}
+
+TEST(ObsMetrics, ExpositionWithTimingOnIsPinnedByteForByte) {
+  MetricsRegistry registry;
+  PopulateSample(&registry);
+  EXPECT_EQ(registry.ExpositionText(/*include_timing=*/true),
+            "# HELP app_depth Depth.\n"
+            "# TYPE app_depth gauge\n"
+            "app_depth -2\n"
+            "# HELP app_events_total Events.\n"
+            "# TYPE app_events_total counter\n"
+            "app_events_total{kind=\"a\"} 3\n"
+            "app_events_total{kind=\"b\"} 1\n"
+            "# HELP app_latency_ms Latency.\n"
+            "# TYPE app_latency_ms histogram\n"
+            "app_latency_ms_bucket{le=\"1\"} 2\n"
+            "app_latency_ms_bucket{le=\"5\"} 3\n"
+            "app_latency_ms_bucket{le=\"+Inf\"} 4\n"
+            "app_latency_ms_sum 14.5\n"
+            "app_latency_ms_count 4\n"
+            "# HELP app_phase_us_total Wall time.\n"
+            "# TYPE app_phase_us_total counter\n"
+            "app_phase_us_total{phase=\"x\"} 42\n");
+}
+
+TEST(ObsMetrics, ExpositionSchemaDoesNotDependOnObservedValues) {
+  // Same instruments, no events: every series still present, zero-valued.
+  MetricsRegistry registry;
+  static const double kBounds[] = {1, 5};
+  registry.RegisterCounter("app_events_total", "kind=\"a\"", "Events.");
+  registry.RegisterHistogram("app_latency_ms", "", "Latency.", kBounds, 2,
+                             /*timing=*/true);
+  EXPECT_EQ(registry.ExpositionText(/*include_timing=*/true),
+            "# HELP app_events_total Events.\n"
+            "# TYPE app_events_total counter\n"
+            "app_events_total{kind=\"a\"} 0\n"
+            "# HELP app_latency_ms Latency.\n"
+            "# TYPE app_latency_ms histogram\n"
+            "app_latency_ms_bucket{le=\"1\"} 0\n"
+            "app_latency_ms_bucket{le=\"5\"} 0\n"
+            "app_latency_ms_bucket{le=\"+Inf\"} 0\n"
+            "app_latency_ms_sum 0\n"
+            "app_latency_ms_count 0\n");
+}
+
+// --- registry semantics ------------------------------------------------
+
+TEST(ObsMetrics, RegistrationIsIdempotentOnNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.RegisterCounter("c_total", "k=\"1\"", "help");
+  Counter* again = registry.RegisterCounter("c_total", "k=\"1\"", "help");
+  Counter* other = registry.RegisterCounter("c_total", "k=\"2\"", "help");
+  EXPECT_EQ(a, again);
+  EXPECT_NE(a, other);
+  Gauge* g = registry.RegisterGauge("g", "", "help");
+  EXPECT_EQ(g, registry.RegisterGauge("g", "", "help"));
+}
+
+TEST(ObsMetrics, MacroRegistrationBindsTheGlobalRegistryOncePerSite) {
+  // Two passes through the same site must hit the same instrument.
+  uint64_t first = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    UIC_METRIC_COUNTER(site, "uic_test_macro_site_total",
+                       "Macro registration coverage.");
+    site.Add(5);
+    if (pass == 0) first = site.Value();
+  }
+  UIC_METRIC_COUNTER(site, "uic_test_macro_site_total",
+                     "Macro registration coverage.");
+  EXPECT_EQ(site.Value(), first + 5);
+}
+
+TEST(ObsMetrics, HistogramBucketsAreInclusiveUpperBounds) {
+  static const double kBounds[] = {10, 20, 30};
+  Histogram h(kBounds, 3);
+  h.Observe(10.0);  // == bound: belongs to le="10"
+  h.Observe(10.5);
+  h.Observe(30.0);
+  h.Observe(31.0);  // overflow bucket
+  EXPECT_EQ(h.BucketValue(0), 1u);
+  EXPECT_EQ(h.BucketValue(1), 1u);
+  EXPECT_EQ(h.BucketValue(2), 1u);
+  EXPECT_EQ(h.BucketValue(3), 1u);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 81.5);
+}
+
+TEST(ObsMetrics, GaugeSetMaxOnlyRaises) {
+  Gauge g;
+  g.SetMax(5);
+  EXPECT_EQ(g.Value(), 5);
+  g.SetMax(3);
+  EXPECT_EQ(g.Value(), 5);
+  g.SetMax(9);
+  EXPECT_EQ(g.Value(), 9);
+  g.Sub(4);
+  EXPECT_EQ(g.Value(), 5);
+}
+
+// --- concurrency (exercised under TSan in CI) --------------------------
+
+TEST(ObsMetrics, InstrumentsSurviveConcurrentWriters) {
+  MetricsRegistry registry;
+  static const double kBounds[] = {100, 1000};
+  Counter* counter = registry.RegisterCounter("hammer_total", "", "help");
+  Gauge* gauge = registry.RegisterGauge("hammer_depth", "", "help");
+  Histogram* histogram =
+      registry.RegisterHistogram("hammer_ms", "", "help", kBounds, 2);
+  constexpr size_t kEvents = 40000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kEvents, 8, [&](unsigned, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counter->Add(2);
+      gauge->Add(1);
+      histogram->Observe(static_cast<double>(i % 3));
+      // Exposition races with the writers: must be safe, not a snapshot.
+      if (i % 8192 == 0) (void)registry.ExpositionText(true);
+    }
+  });
+  EXPECT_EQ(counter->Value(), 2 * kEvents);
+  EXPECT_EQ(gauge->Value(), static_cast<long long>(kEvents));
+  EXPECT_EQ(histogram->Count(), kEvents);
+  EXPECT_EQ(histogram->BucketValue(0), kEvents);  // all values <= 100
+}
+
+TEST(ObsMetrics, ConcurrentRegistrationYieldsOneInstrumentPerIdentity) {
+  MetricsRegistry registry;
+  std::vector<Counter*> seen(64, nullptr);
+  ThreadPool pool(8);
+  pool.ParallelFor(seen.size(), 8, [&](unsigned, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      seen[i] = registry.RegisterCounter("race_total", "", "help");
+      seen[i]->Add();
+    }
+  });
+  for (Counter* c : seen) EXPECT_EQ(c, seen[0]);
+  EXPECT_EQ(seen[0]->Value(), seen.size());
+}
+
+// --- trace spans -------------------------------------------------------
+
+/// Drains the recorder after disabling it, returning the JSONL payload.
+std::string RecordSession(const std::function<void()>& body) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  EXPECT_TRUE(recorder.EnableBuffer());
+  body();
+  recorder.Disable();
+  return recorder.TakeBuffered();
+}
+
+TEST(ObsTrace, SpanTreesNestAndSerializeAsJsonl) {
+  const std::string jsonl = RecordSession([] {
+    TraceSpan root("request");
+    {
+      TraceSpan child("solve");
+      child.SetAttr("ok", 1);
+      { TraceSpan leaf("warm_acquire"); }
+    }
+    { TraceSpan sibling("estimate"); }
+  });
+  ASSERT_FALSE(jsonl.empty());
+  ASSERT_EQ(jsonl.back(), '\n');
+  // One root span => one line.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+
+  Result<serve::Json> parsed =
+      serve::Json::Parse(jsonl.substr(0, jsonl.size() - 1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const serve::Json& root = parsed.value();
+  EXPECT_EQ(root.Find("name")->AsString(), "request");
+  ASSERT_NE(root.Find("dur_us"), nullptr);
+  ASSERT_NE(root.Find("children"), nullptr);
+  const std::vector<serve::Json>& children = root.Find("children")->items();
+  ASSERT_EQ(children.size(), 2u);
+  const serve::Json& solve = children[0];
+  EXPECT_EQ(solve.Find("name")->AsString(), "solve");
+  EXPECT_EQ(solve.Find("attrs")->Find("ok")->AsInt(), 1);
+  ASSERT_EQ(solve.Find("children")->items().size(), 1u);
+  EXPECT_EQ(solve.Find("children")->items()[0].Find("name")->AsString(),
+            "warm_acquire");
+  EXPECT_EQ(children[1].Find("name")->AsString(), "estimate");
+  // Leaves carry no children key: the schema stays minimal.
+  EXPECT_EQ(children[1].Find("children"), nullptr);
+}
+
+TEST(ObsTrace, EachRootSpanIsItsOwnLine) {
+  const std::string jsonl = RecordSession([] {
+    { TraceSpan a("first"); }
+    { TraceSpan b("second"); }
+  });
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"second\""), std::string::npos);
+}
+
+TEST(ObsTrace, SpansAreFreeAndSilentWhileDisabled) {
+  ASSERT_FALSE(TraceRecorder::Enabled());
+  {
+    TraceSpan span("never_recorded");
+    span.SetAttr("x", 1);
+  }
+  EXPECT_TRUE(TraceRecorder::Global().TakeBuffered().empty());
+}
+
+TEST(ObsTrace, OnlyOneSinkAtATime) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  ASSERT_TRUE(recorder.EnableBuffer());
+  EXPECT_FALSE(recorder.EnableBuffer());
+  EXPECT_FALSE(recorder.EnableFile("/dev/null"));
+  recorder.Disable();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace uic

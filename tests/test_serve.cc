@@ -421,6 +421,37 @@ TEST(ServeServer, UnloadDropsSessionsAndWarmState) {
   EXPECT_EQ(server.Stats().Find("warm_cache")->Find("entries")->AsInt(), 0);
 }
 
+TEST(ServeServer, MetricsVerbReturnsTheTimingGatedExposition) {
+  Server server(GoldenOptions());  // include_timing off: golden mode
+  ASSERT_NE(server.HandleLine("{\"id\":1,\"verb\":\"ping\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::string response =
+      server.HandleLine("{\"id\":2,\"verb\":\"metrics\"}");
+  Result<Json> parsed = Json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed.value().Find("ok")->AsBool());
+  const Json* result = parsed.value().Find("result");
+  ASSERT_NE(result, nullptr) << response;
+  EXPECT_EQ(result->Find("format")->AsString(), "prometheus-text");
+  const std::string& text = result->Find("text")->AsString();
+  EXPECT_NE(text.find("# TYPE uic_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("uic_serve_requests_total{status=\"ok\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("uic_serve_verb_requests_total{verb=\"ping\"}"),
+            std::string::npos);
+  // The timing gate: no wall-clock series may reach a golden-mode scrape.
+  EXPECT_EQ(text.find("uic_serve_solve_latency_ms"), std::string::npos);
+  EXPECT_EQ(text.find("_bucket"), std::string::npos);
+  EXPECT_EQ(text.find("_us_total"), std::string::npos);
+
+  // With timing on, the latency histogram family appears.
+  Server timed(ServerOptions{});
+  EXPECT_NE(timed.MetricsText().find("uic_serve_solve_latency_ms_bucket"),
+            std::string::npos);
+}
+
 TEST(ServeServer, ShutdownVerbDrainsAndPipeSessionEnds) {
   Server server(GoldenOptions());
   EXPECT_NE(server.HandleLine("{\"id\":1,\"verb\":\"shutdown\"}")
@@ -734,6 +765,37 @@ TEST_F(FailpointServer, MidSolveDeadlineReturnsPartialStatsAndRecovers) {
   EXPECT_NE(partial->Find("rr_sets_served"), nullptr) << response;
   EXPECT_EQ(parsed.value().Find("result"), nullptr) << response;
   ExpectStillServes(server);
+}
+
+TEST_F(FailpointServer, DeadlineExceededSolvesCountAsErrorsNeverSolves) {
+  // The request-accounting invariant: requests == ok + errors and
+  // solves <= ok. A solve that blows its deadline mid-flight lands in
+  // errors, never solves (the old RecordSolve tallied it regardless, so
+  // solves could exceed ok).
+  Server server(GoldenOptions());
+  LoadFixtures(server);
+  ASSERT_NE(server.HandleLine(kSolveWarm).find("\"ok\":true"),
+            std::string::npos);
+  ASSERT_TRUE(
+      failpoint::Set("serve.solve.admitted", "delay_ms(30):once").ok());
+  ExpectErrorCode(
+      server.HandleLine(
+          "{\"id\":50,\"verb\":\"solve\",\"graph\":\"g\",\"params\":\"p\","
+          "\"budgets\":[3,3],\"seed\":4,\"eval_sims\":100,"
+          "\"deadline_ms\":10}"),
+      "deadline_exceeded");
+  const Json stats = server.Stats();
+  const Json* requests = stats.Find("requests");
+  ASSERT_NE(requests, nullptr);
+  const long long ok = requests->Find("ok")->AsInt();
+  const long long errors = requests->Find("errors")->AsInt();
+  const long long solves = requests->Find("solves")->AsInt();
+  EXPECT_EQ(requests->Find("requests")->AsInt(), ok + errors);
+  EXPECT_LE(solves, ok);
+  // This session: two loads + one ok solve, one deadline-exceeded solve.
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(solves, 1);
 }
 
 TEST_F(FailpointServer, SetFailpointsVerbRequiresTestingMode) {

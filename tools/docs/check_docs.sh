@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs invariants, run as a ctest and by the CI docs job:
+#   1. Every relative (intra-repo) markdown link resolves to a file or
+#      directory — a rename that orphans a link fails the build.
+#   2. Every metric name registered in the source tree appears in
+#      docs/observability.md, so the documented roster cannot drift
+#      behind the code (lint rule UIC-L011 guarantees names are literal
+#      strings at UIC_METRIC_* sites, which is what makes this
+#      greppable).
+set -u
+root="${1:-.}"
+fail=0
+
+# --- intra-repo links ---------------------------------------------------
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link in $file: $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^](//; s/)$//')
+done < <(find "$root" -name '*.md' \
+  -not -path '*/build*/*' -not -path '*/.git/*' -not -path '*/related/*')
+
+# --- metric roster coverage ---------------------------------------------
+doc="$root/docs/observability.md"
+if [ ! -f "$doc" ]; then
+  echo "missing $doc"
+  exit 1
+fi
+while IFS= read -r name; do
+  if ! grep -q "$name" "$doc"; then
+    echo "metric $name is registered in the tree but missing from $doc"
+    fail=1
+  fi
+done < <(grep -rhoE '"uic_[a-z0-9_]+(_total|_ms|_depth|_running)"' \
+  "$root/src" "$root/examples" | tr -d '"' | sort -u)
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs clean: links resolve, metric roster covered"
+fi
+exit "$fail"

@@ -77,6 +77,14 @@ const std::vector<Rule>& RuleTable() {
        "inject through the registry API (failpoint::Set/Configure, the "
        "UIC_FAILPOINTS env var, or the set_failpoints verb); sites live "
        "only under src/"},
+      {"UIC-L011", "metric-registration",
+       "direct MetricsRegistry Register{Counter,Gauge,Histogram} calls "
+       "mint ad-hoc metric name strings, off the documented roster in "
+       "docs/observability.md and past the once-per-site static "
+       "registration the macros guarantee",
+       "register instruments through the UIC_METRIC_* macros "
+       "(src/obs/metrics.h); direct Register* calls live only in "
+       "src/obs/ and registry unit tests with a whitelist entry"},
   };
   return rules;
 }
@@ -307,6 +315,9 @@ std::vector<Violation> LintSource(const std::string& path,
   const bool is_mutex_wrapper = PathEndsWith(path, "common/mutex.h");
   const bool is_net_layer = PathEndsWith(path, "serve/net.cc") ||
                             PathEndsWith(path, "serve/net.h");
+  // The registry implementation and the macro layer that wraps it.
+  const bool is_obs_layer = PathEndsWith(path, "obs/metrics.cc") ||
+                            PathEndsWith(path, "obs/metrics.h");
   // The sampling-plan kernels themselves: their scan fallbacks ARE the
   // sanctioned per-edge Bernoulli loops (the general-node path and the
   // scan kernel the skip kernel is validated against).
@@ -337,6 +348,10 @@ std::vector<Violation> LintSource(const std::string& path,
   static const std::regex re_edge_bernoulli(
       R"(\bNextBernoulli\s*\(\s*\w+\s*\[)");
   static const std::regex re_failpoint_site(R"(\bUIC_FAILPOINT\s*\()");
+  // Call sites only (the UIC_METRIC_* macros expand to these calls, but
+  // macro-using sources never contain the token themselves).
+  static const std::regex re_metric_register(
+      R"(\bRegister(?:Counter|Gauge|Histogram)\s*\()");
 
   const std::vector<std::string> unordered_vars = UnorderedVarNames(stripped);
   std::vector<std::regex> re_unordered_iter;
@@ -395,6 +410,10 @@ std::vector<Violation> LintSource(const std::string& path,
     if (!in_library && std::regex_search(line, re_failpoint_site)) {
       Add(&out, path, line_no, "UIC-L010",
           "UIC_FAILPOINT site outside src/ library code");
+    }
+    if (!is_obs_layer && std::regex_search(line, re_metric_register)) {
+      Add(&out, path, line_no, "UIC-L011",
+          "direct metric registration outside the UIC_METRIC_* macros");
     }
   }
 

@@ -47,6 +47,7 @@ TEST(UicLint, EachRuleFixtureIsCaughtAtTheDocumentedLine) {
       {"violation_socket_io.cc", "UIC-L008", 6},
       {"violation_edge_bernoulli.cc", "UIC-L009", 10},
       {"violation_failpoint.cc", "UIC-L010", 7},
+      {"violation_metric_register.cc", "UIC-L011", 7},
   };
   for (const FixtureCase& c : cases) {
     const std::vector<Violation> found = LintFixture(c.file);
@@ -209,9 +210,9 @@ TEST(UicLint, WhitelistLoaderParsesEntriesAndComments) {
   EXPECT_EQ(wl.entries[0].path_suffix, "tests/test_thread_pool.cc");
 }
 
-TEST(UicLint, RuleTableHasTenRulesWithHints) {
+TEST(UicLint, RuleTableHasElevenRulesWithHints) {
   const std::vector<Rule>& rules = RuleTable();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   for (size_t i = 0; i < rules.size(); ++i) {
     std::string number = std::to_string(i + 1);
     while (number.size() < 3) number.insert(number.begin(), '0');
@@ -231,6 +232,20 @@ TEST(UicLint, FailpointSiteRuleExemptsLibraryCode) {
   EXPECT_EQ(LintSource("tests/test_serve.cc", source).size(), 1u);
   EXPECT_EQ(LintSource("bench/bench_serve.cc", source).size(), 1u);
   EXPECT_EQ(LintSource("examples/uic_served.cpp", source).size(), 1u);
+}
+
+TEST(UicLint, MetricRegistrationRuleExemptsOnlyTheRegistryLayer) {
+  const std::string source =
+      ReadFile(TestDataPath() + "/violation_metric_register.cc");
+  // The registry implementation and its macro layer make the real calls...
+  EXPECT_TRUE(LintSource("src/obs/metrics.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/obs/metrics.h", source).empty());
+  // ...everything else goes through UIC_METRIC_* (macro-using sources
+  // never contain the Register* token) or earns a whitelist entry, as
+  // the registry unit tests do.
+  EXPECT_EQ(LintSource("src/serve/server.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("tests/test_obs.cc", source).size(), 1u);
+  EXPECT_EQ(LintSource("examples/uic_run.cpp", source).size(), 1u);
 }
 
 TEST(UicLint, CliExitsNonzeroOnViolationsAndReportsRuleAndPath) {

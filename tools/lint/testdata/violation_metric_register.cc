@@ -1,0 +1,7 @@
+// Fixture: UIC-L011 — direct metric registration outside the
+// UIC_METRIC_* macros (line 7). Ad-hoc Register* calls mint metric
+// names off the documented roster.
+struct Registry;
+Registry& Global();
+
+void* c = RegisterCounter("my_adhoc_total", "", "off-roster metric");
